@@ -1,0 +1,67 @@
+// Command atpg runs the sequential structural test generator on a
+// bench-format circuit and writes the generated test set (one vector
+// per line) to stdout; coverage and effort statistics go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func main() {
+	frames := flag.Int("frames", 10, "maximum time frames")
+	backtracks := flag.Int("backtracks", 200, "PODEM backtrack limit per fault")
+	budget := flag.Int64("budget", 2_000_000, "gate-evaluation budget per fault (0 = unlimited)")
+	random := flag.Bool("random", true, "run the random-sequence pre-phase")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atpg [flags] in.bench\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *frames, *backtracks, *budget, *random); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, frames, backtracks int, budget int64, random bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	c, err := netlist.ParseBench(path, f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	reps, _ := fault.Collapse(c)
+	opt := atpg.DefaultOptions()
+	opt.MaxFrames = frames
+	opt.MaxBacktracks = backtracks
+	opt.MaxEvalsPerFault = budget
+	opt.RandomPhase = random
+	res := atpg.Run(c, reps, opt)
+
+	det, red, ab := res.Counts()
+	fmt.Fprintf(os.Stderr, "%s: %d collapsed faults\n", c.Name, len(reps))
+	fmt.Fprintf(os.Stderr, "detected %d, redundant %d, aborted %d\n", det, red, ab)
+	fmt.Fprintf(os.Stderr, "fault coverage %.2f%%, fault efficiency %.2f%%\n",
+		res.FaultCoverage(), res.FaultEfficiency())
+	fmt.Fprintf(os.Stderr, "effort: %d gate evaluations, %d backtracks, %v\n",
+		res.Effort.Evals, res.Effort.Backtracks, res.Effort.Time)
+	fmt.Fprintf(os.Stderr, "test set: %d vectors in %d sequences\n", len(res.TestSet), len(res.Tests))
+	for _, v := range res.TestSet {
+		fmt.Println(sim.VecString(v))
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// silence redirects stdout to a pipe drained in the background so run()
+// output does not pollute test logs.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunGeneratesTests(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "c1.bench")
+	if err := os.WriteFile(path, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 6, 50, 100_000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.bench"), 6, 50, 0, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

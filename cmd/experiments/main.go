@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+//
+//	experiments -table 1        Table I   (benchmark characteristics)
+//	experiments -table 2        Table II  (ATPG on original vs retimed)
+//	experiments -table 3        Table III (derived test set fault simulation)
+//	experiments -fig6           the Fig. 6 retime-for-testability flow
+//	experiments -table all      everything
+//
+// Absolute effort numbers are gate evaluations on this machine rather
+// than 1995 DECstation CPU seconds; EXPERIMENTS.md discusses the
+// correspondence of shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1 | 2 | 3 | all")
+	fig6 := flag.Bool("fig6", false, "also run the Fig. 6 flow experiment")
+	only := flag.String("only", "", "restrict to circuits whose name contains this substring")
+	budget := flag.Int64("budget", 0, "override total gate-evaluation budget per ATPG run (0 = default)")
+	flag.Parse()
+
+	opt := atpg.DefaultOptions()
+	if *budget > 0 {
+		opt.MaxEvalsTotal = *budget
+	}
+	switch *table {
+	case "1":
+		fatal(experiments.Table1(os.Stdout))
+	case "2":
+		runTables(opt, *only, true, false)
+	case "3":
+		runTables(opt, *only, false, true)
+	case "all":
+		fatal(experiments.Table1(os.Stdout))
+		fmt.Println()
+		runTables(opt, *only, true, true)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	if *fig6 {
+		fmt.Println()
+		runFig6(opt)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runTables(opt atpg.Options, only string, t2, t3 bool) {
+	var runs []*experiments.VariantRun
+	for _, v := range experiments.TableIIVariants() {
+		if only != "" && !contains(v.Name(), only) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", v.Name())
+		run, err := experiments.RunVariant(v, opt, t2)
+		fatal(err)
+		runs = append(runs, run)
+	}
+	if t2 {
+		experiments.Table2Header(os.Stdout)
+		for _, run := range runs {
+			experiments.Table2Row(os.Stdout, run)
+		}
+		fmt.Println()
+	}
+	if t3 {
+		experiments.Table3Header(os.Stdout)
+		for _, run := range runs {
+			experiments.Table3Row(os.Stdout, run)
+		}
+	}
+}
+
+func runFig6(opt atpg.Options) {
+	fmt.Println("FIG 6 FLOW: ATPG via testability retiming vs direct ATPG (dk16.ji.sd.re)")
+	v := experiments.TableIIVariants()[0]
+	c, err := v.Synthesize()
+	fatal(err)
+	pair, _, _, err := experiments.SpeedRetime(c, 0)
+	fatal(err)
+	impl := pair.Retimed
+
+	implFaults, _ := fault.Collapse(impl)
+	t0 := time.Now()
+	direct := atpg.Run(impl, implFaults, opt)
+	directTime := time.Since(t0)
+
+	t0 = time.Now()
+	flow, err := core.Fig6Flow(impl, opt)
+	fatal(err)
+	flowTime := time.Since(t0)
+
+	fmt.Printf("implementation: %d DFFs\n", len(impl.DFFs))
+	fmt.Printf("direct ATPG:    FC %.1f%%  effort %d evals  (%v)\n",
+		direct.FaultCoverage(), direct.Effort.Evals, directTime.Round(time.Millisecond))
+	fmt.Printf("fig6 flow:      easy circuit %d DFFs, ATPG FC %.1f%% effort %d evals (%v)\n",
+		len(flow.Pair.Original.DFFs), flow.EasyATPG.FaultCoverage(), flow.EasyATPG.Effort.Evals,
+		flowTime.Round(time.Millisecond))
+	fmt.Printf("                prefix %d vector(s); derived set achieves FC %.1f%% on the implementation\n",
+		flow.Pair.PrefixLengthTests(), flow.ImplCoverage())
+	if flow.EasyATPG.Effort.Evals > 0 {
+		fmt.Printf("effort ratio direct/flow: %.2f\n",
+			float64(direct.Effort.Evals)/float64(flow.EasyATPG.Effort.Evals))
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

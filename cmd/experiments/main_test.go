@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		s, sub string
+		want   bool
+	}{
+		{"s510.jc.sd", "s510", true},
+		{"s510.jc.sd", "jc", true},
+		{"s510.jc.sd", "", true},
+		{"s510.jc.sd", "s820", false},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := contains(c.s, c.sub); got != c.want {
+			t.Errorf("contains(%q, %q) = %v", c.s, c.sub, got)
+		}
+	}
+}

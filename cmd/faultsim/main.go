@@ -1,0 +1,84 @@
+// Command faultsim fault-simulates a test set (one vector per line,
+// characters 0/1/x, as written by cmd/atpg) on a bench-format circuit
+// and reports coverage and the undetected faults.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func main() {
+	tests := flag.String("tests", "", "test set file (default: stdin)")
+	list := flag.Bool("undetected", false, "list undetected faults")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: faultsim [-tests vectors.txt] [-undetected] in.bench\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *tests, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, testsPath string, listUndet bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	c, err := netlist.ParseBench(path, f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	in := os.Stdin
+	if testsPath != "" {
+		in, err = os.Open(testsPath)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+	}
+	var seq sim.Seq
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v := sim.ParseVec(line)
+		if len(v) != len(c.Inputs) {
+			return fmt.Errorf("vector %q has %d bits, circuit has %d inputs", line, len(v), len(c.Inputs))
+		}
+		seq = append(seq, v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	reps, _ := fault.Collapse(c)
+	res := fsim.Run(c, reps, seq)
+	fmt.Printf("%s: %d collapsed faults, %d vectors\n", c.Name, len(reps), len(seq))
+	fmt.Printf("detected %d, undetected %d, coverage %.2f%%\n",
+		res.Detected(), len(reps)-res.Detected(), res.Coverage())
+	if listUndet {
+		for _, u := range res.Undetected() {
+			fmt.Printf("undetected: %s\n", u.Name(c))
+		}
+	}
+	return nil
+}

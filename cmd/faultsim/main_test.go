@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunFaultSim(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "c1.bench")
+	if err := os.WriteFile(bench, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(tests, []byte("# two vectors\n11\n00\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bench, tests, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsWidthMismatch(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "c1.bench")
+	if err := os.WriteFile(bench, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(tests, []byte("101\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bench, tests, false); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Command fsmsynth synthesizes a finite-state machine to a bench-format
+// circuit. The FSM is either a KISS2 file or one of the built-in
+// generated benchmarks reproducing the paper's Table I machines
+// (dk16, pma, s510, s820, s832, scf).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fsmgen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	bench := flag.String("benchmark", "", "built-in benchmark name instead of a KISS2 file")
+	enc := flag.String("encoding", "ji", "state encoding: ji | jo | jc")
+	script := flag.String("script", "sd", "synthesis script: sd | sr")
+	reset := flag.Bool("reset", false, "add an explicit reset line (forced for benchmarks that used one)")
+	kissOut := flag.Bool("kiss", false, "emit the FSM as KISS2 instead of synthesizing")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fsmsynth [flags] [machine.kiss2]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(*bench, flag.Arg(0), *enc, *script, *reset, *kissOut); err != nil {
+		fmt.Fprintln(os.Stderr, "fsmsynth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, kissPath, encName, scrName string, reset, kissOut bool) error {
+	var f *fsmgen.FSM
+	switch {
+	case benchName != "":
+		var spec fsmgen.BenchmarkSpec
+		var err error
+		f, spec, err = fsmgen.Benchmark(benchName)
+		if err != nil {
+			return err
+		}
+		reset = reset || spec.Reset
+	case kissPath != "":
+		file, err := os.Open(kissPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		f, err = fsmgen.ParseKISS2(kissPath, file)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -benchmark or a KISS2 file")
+	}
+	if kissOut {
+		return fsmgen.WriteKISS2(os.Stdout, f)
+	}
+	enc, ok := fsmgen.ParseEncoding(encName)
+	if !ok {
+		return fmt.Errorf("unknown encoding %q", encName)
+	}
+	scr, ok := fsmgen.ParseScript(scrName)
+	if !ok {
+		return fmt.Errorf("unknown script %q", scrName)
+	}
+	c, err := fsmgen.Synthesize(f, fsmgen.SynthOptions{Encoding: enc, Script: scr, Reset: reset})
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr, "%s: %d inputs, %d outputs, %d gates, %d DFFs, period %d\n",
+		c.Name, st.Inputs, st.Outputs, st.Gates, st.DFFs, c.MaxCombDelay())
+	return netlist.WriteBench(os.Stdout, c)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunBenchmarkSynthesis(t *testing.T) {
+	silence(t)
+	if err := run("dk16", "", "ji", "sd", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKissOut(t *testing.T) {
+	silence(t)
+	if err := run("pma", "", "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKissFile(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "m.kiss2")
+	src := ".i 1\n.o 1\n.r a\n0 a a 0\n1 a b 1\n- b a 0\n.e\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "jo", "sr", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "ji", "sd", false, false); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run("nosuch", "", "ji", "sd", false, false); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	silence(t)
+	if err := run("dk16", "", "zz", "sd", false, false); err == nil {
+		t.Fatal("bad encoding accepted")
+	}
+	if err := run("dk16", "", "ji", "zz", false, false); err == nil {
+		t.Fatal("bad script accepted")
+	}
+}

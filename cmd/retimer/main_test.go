@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func writeToy(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.bench")
+	if err := os.WriteFile(path, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPeriodMode(t *testing.T) {
+	in := writeToy(t)
+	out := filepath.Join(t.TempDir(), "out.bench")
+	if err := run(in, "period", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := netlist.ParseBenchString("out", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxCombDelay(); got != 3 {
+		t.Fatalf("retimed period = %d, want 3", got)
+	}
+}
+
+func TestRunRegistersMode(t *testing.T) {
+	in := writeToy(t)
+	out := filepath.Join(t.TempDir(), "out.bench")
+	if err := run(in, "registers", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netlist.ParseBenchString("out", string(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeToy(t)
+	if err := run(in, "frobnicate", ""); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.bench"), "period", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func write(t *testing.T, c *netlist.Circuit) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), c.Name+".bench")
+	if err := os.WriteFile(path, []byte(netlist.BenchString(c)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEquivalentPair(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+	if err := run(write(t, netlist.Fig2C1()), write(t, netlist.Fig2C2()), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	if err := run("nope.bench", "alsono.bench", 2); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package retest_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// The paper's Fig. 2 circuit C1, used by the examples below.
+const c1Bench = `
+INPUT(A)
+INPUT(B)
+OUTPUT(Z)
+G1 = AND(A, B)
+G2 = NOT(Q)
+G3 = OR(G1, G2)
+Q = DFF(G3)
+Z = BUF(Q)
+`
+
+func ExampleParseBench() {
+	c, err := retest.ParseBench("c1", strings.NewReader(c1Bench))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(c.Inputs), "inputs,", len(c.DFFs), "flip-flop, period", c.MaxCombDelay())
+	// Output: 2 inputs, 1 flip-flop, period 4
+}
+
+func ExampleMinPeriodPair() {
+	c, _ := retest.ParseBench("c1", strings.NewReader(c1Bench))
+	pair, before, after, err := retest.MinPeriodPair(c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("period %d -> %d, DFFs %d -> %d, prefix %d\n",
+		before, after, len(pair.Original.DFFs), len(pair.Retimed.DFFs),
+		pair.PrefixLengthTests())
+	// Output: period 4 -> 3, DFFs 1 -> 2, prefix 0
+}
+
+func ExampleRetimedPair_CheckPreservation() {
+	c, _ := retest.ParseBench("c1", strings.NewReader(c1Bench))
+	pair, _, _, _ := retest.MinPeriodPair(c)
+
+	opt := retest.DefaultATPGOptions()
+	opt.RandomCount, opt.RandomLength = 8, 32
+	res := retest.ATPG(pair.Original, retest.CollapsedFaults(pair.Original), opt)
+
+	report, err := pair.CheckPreservation(res.TestSet, retest.FillZeros, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", len(report.Violations))
+	// Output: violations: 0
+}
+
+func ExampleVerifyRetiming() {
+	c, _ := retest.ParseBench("c1", strings.NewReader(c1Bench))
+	pair, _, _, _ := retest.MinPeriodPair(c)
+	res, err := retest.VerifyRetiming(pair.Original, pair.Retimed, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("equivalent:", res.Equivalent, "method:", res.Method)
+	// Output: equivalent: true method: exact
+}
+
+func ExampleParseSeq() {
+	seq := retest.ParseSeq("001,000")
+	fmt.Println(len(seq), "vectors of width", len(seq[0]))
+	// Output: 2 vectors of width 3
+}

@@ -1,0 +1,263 @@
+// Package atpg implements a structural sequential automatic test
+// pattern generator in the HITEC tradition: PODEM over an iterative
+// time-frame expansion with unknown initial state, a 9-valued composite
+// good/faulty algebra, iterative deepening on the frame count,
+// backtrack limits, a single-frame redundancy identifier, and fault
+// dropping through the fault simulator.
+//
+// The paper's Table II observable -- structural sequential ATPG effort
+// exploding on retimed circuits while fault coverage and efficiency
+// drop -- is produced by exactly this class of generator, so effort
+// here is metered deterministically (gate evaluations and backtracks)
+// in addition to wall-clock time.
+package atpg
+
+import (
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Options tunes the generator.
+type Options struct {
+	// MaxFrames bounds the iterative deepening on time frames.
+	MaxFrames int
+	// MaxBacktracks bounds PODEM backtracks per fault and frame count.
+	MaxBacktracks int
+	// MaxEvalsPerFault bounds gate evaluations spent on one fault
+	// across all frame counts (0 = unlimited).
+	MaxEvalsPerFault int64
+	// MaxEvalsTotal bounds the whole deterministic phase; once the
+	// budget is spent the remaining faults are reported as aborted,
+	// mirroring the paper's wall-clock cap on HITEC runs (s510.jo.sr.re
+	// hit its one-million-second limit). 0 = unlimited.
+	MaxEvalsTotal int64
+	// GuidedBacktrace enables SCOAP-style controllability guidance in
+	// the backtrace (the ablation benchmark flips this).
+	GuidedBacktrace bool
+	// FillValue replaces unassigned primary inputs in emitted tests;
+	// logic.X means "fill with zeros" is replaced by random-free zero
+	// fill. Tests remain valid for any fill by construction.
+	FillValue logic.V
+	// RandomPhase runs a random-sequence fault-simulation pass before
+	// deterministic generation (length RandomLength, RandomCount
+	// sequences) to drop the easy faults cheaply.
+	RandomPhase  bool
+	RandomLength int
+	RandomCount  int
+	RandomSeed   int64
+	// IdentifyRedundant runs the single-frame free-state untestability
+	// check to classify faults as redundant.
+	IdentifyRedundant bool
+	// SyncSeed prepends a precomputed structural synchronizing sequence
+	// (found by holding simple constant vectors, e.g. an asserted reset
+	// line) to every deterministic search, so state justification works
+	// from a known state -- the way production generators exploit reset
+	// lines. Tests remain valid for unknown initial state; the seed is
+	// just a fixed stimulus prefix.
+	SyncSeed bool
+}
+
+// DefaultOptions returns the settings used by the experiment harness.
+func DefaultOptions() Options {
+	return Options{
+		MaxFrames:         10,
+		MaxBacktracks:     200,
+		MaxEvalsPerFault:  2_000_000,
+		MaxEvalsTotal:     300_000_000,
+		GuidedBacktrace:   true,
+		FillValue:         logic.Zero,
+		RandomPhase:       true,
+		RandomLength:      128,
+		RandomCount:       64,
+		RandomSeed:        1,
+		IdentifyRedundant: true,
+		SyncSeed:          true,
+	}
+}
+
+// FaultStatus classifies the outcome for one fault.
+type FaultStatus uint8
+
+// Fault outcomes.
+const (
+	StatusAborted   FaultStatus = iota // backtrack/effort limit hit
+	StatusDetected                     // a test was generated or the fault was dropped
+	StatusRedundant                    // proven untestable
+)
+
+// String names the status.
+func (s FaultStatus) String() string {
+	switch s {
+	case StatusDetected:
+		return "detected"
+	case StatusRedundant:
+		return "redundant"
+	}
+	return "aborted"
+}
+
+// Effort is the deterministic cost metering of a run.
+type Effort struct {
+	Evals      int64 // composite gate evaluations
+	Backtracks int64
+	Time       time.Duration
+}
+
+// Result summarizes an ATPG run over a fault list.
+type Result struct {
+	Circuit *netlist.Circuit
+	Faults  []fault.Fault
+	Status  map[fault.Fault]FaultStatus
+	// Tests holds the generated sequences in generation order; TestSet
+	// is their concatenation, the deliverable test set.
+	Tests   []sim.Seq
+	TestSet sim.Seq
+	Effort  Effort
+}
+
+// Counts returns (detected, redundant, aborted).
+func (r *Result) Counts() (det, red, ab int) {
+	for _, f := range r.Faults {
+		switch r.Status[f] {
+		case StatusDetected:
+			det++
+		case StatusRedundant:
+			red++
+		default:
+			ab++
+		}
+	}
+	return
+}
+
+// FaultCoverage returns detected/total in percent.
+func (r *Result) FaultCoverage() float64 {
+	if len(r.Faults) == 0 {
+		return 100
+	}
+	det, _, _ := r.Counts()
+	return 100 * float64(det) / float64(len(r.Faults))
+}
+
+// FaultEfficiency returns (detected+redundant)/total in percent.
+func (r *Result) FaultEfficiency() float64 {
+	if len(r.Faults) == 0 {
+		return 100
+	}
+	det, red, _ := r.Counts()
+	return 100 * float64(det+red) / float64(len(r.Faults))
+}
+
+// Run generates tests for the fault list.
+func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
+	start := time.Now()
+	res := &Result{
+		Circuit: c,
+		Faults:  faults,
+		Status:  make(map[fault.Fault]FaultStatus, len(faults)),
+	}
+	remaining := append([]fault.Fault(nil), faults...)
+
+	if opt.RandomPhase && opt.RandomCount > 0 && opt.RandomLength > 0 {
+		rngSeq := randomSequences(len(c.Inputs), opt)
+		for _, seq := range rngSeq {
+			if len(remaining) == 0 {
+				break
+			}
+			fr := fsim.Run(c, remaining, seq)
+			res.Effort.Evals += int64(len(seq)) * int64(len(c.Nodes)) * int64((len(remaining)+fsim.GroupWidth-1)/fsim.GroupWidth)
+			if fr.Detected() == 0 {
+				continue
+			}
+			res.Tests = append(res.Tests, seq)
+			res.TestSet = append(res.TestSet, seq...)
+			for f := range fr.DetectedAt {
+				res.Status[f] = StatusDetected
+			}
+			remaining = fr.Undetected()
+		}
+	}
+
+	eng := newEngine(c, opt)
+	for len(remaining) > 0 {
+		f := remaining[0]
+		remaining = remaining[1:]
+		if opt.MaxEvalsTotal > 0 && res.Effort.Evals >= opt.MaxEvalsTotal {
+			res.Status[f] = StatusAborted
+			continue
+		}
+		seq, status := eng.generate(f)
+		res.Effort.Evals += eng.evals
+		res.Effort.Backtracks += eng.backtracks
+		res.Status[f] = status
+		if status != StatusDetected {
+			continue
+		}
+		res.Tests = append(res.Tests, seq)
+		res.TestSet = append(res.TestSet, seq...)
+		// Fault dropping: simulate the new test over the survivors.
+		if len(remaining) > 0 {
+			fr := fsim.Run(c, remaining, seq)
+			res.Effort.Evals += int64(len(seq)) * int64(len(c.Nodes)) * int64((len(remaining)+fsim.GroupWidth-1)/fsim.GroupWidth)
+			for g := range fr.DetectedAt {
+				res.Status[g] = StatusDetected
+			}
+			remaining = fr.Undetected()
+		}
+	}
+	res.Effort.Time = time.Since(start)
+	return res
+}
+
+// randomSequences builds the deterministic random-phase stimuli. Each
+// sequence draws every input from its own random bias in {10%, 50%,
+// 90%}; weighted patterns exercise control-like inputs (reset lines,
+// enables) far better than uniform ones, which would keep resetting the
+// machine under test.
+func randomSequences(inputs int, opt Options) []sim.Seq {
+	rng := newSplitMix(uint64(opt.RandomSeed))
+	seqs := make([]sim.Seq, opt.RandomCount)
+	for i := range seqs {
+		// Per-input probability threshold: ~10%, 50% or 90%.
+		thresh := make([]uint64, inputs)
+		for j := range thresh {
+			switch rng.next() % 3 {
+			case 0:
+				thresh[j] = ^uint64(0) / 10 // ~10% ones
+			case 1:
+				thresh[j] = ^uint64(0) / 2 // ~50% ones
+			default:
+				thresh[j] = ^uint64(0) - ^uint64(0)/10 // ~90% ones
+			}
+		}
+		seq := make(sim.Seq, opt.RandomLength)
+		for t := range seq {
+			v := make(sim.Vec, inputs)
+			for j := range v {
+				v[j] = logic.FromBool(rng.next() < thresh[j])
+			}
+			seq[t] = v
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+// splitMix is a tiny deterministic PRNG so the package does not depend
+// on math/rand ordering guarantees for reproducibility.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

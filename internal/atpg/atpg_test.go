@@ -1,0 +1,234 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func smallOptions() Options {
+	opt := DefaultOptions()
+	opt.RandomPhase = false
+	opt.MaxFrames = 6
+	opt.MaxBacktracks = 100
+	return opt
+}
+
+func TestCombinationalAnd(t *testing.T) {
+	c, err := netlist.NewBuilder("and2").
+		Inputs("a", "b").
+		Gate("z", logic.OpAnd, "a", "b").
+		Output("z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c)
+	res := Run(c, reps, smallOptions())
+	det, red, ab := res.Counts()
+	if det != len(reps) || red != 0 || ab != 0 {
+		t.Fatalf("counts = %d/%d/%d of %d", det, red, ab, len(reps))
+	}
+	// Every generated test must actually detect its faults.
+	fr := fsim.Run(c, reps, res.TestSet)
+	if fr.Detected() != len(reps) {
+		t.Fatalf("test set detects only %d/%d", fr.Detected(), len(reps))
+	}
+	if res.FaultCoverage() != 100 || res.FaultEfficiency() != 100 {
+		t.Fatalf("FC %.1f FE %.1f", res.FaultCoverage(), res.FaultEfficiency())
+	}
+}
+
+func TestRedundantFaultIdentified(t *testing.T) {
+	// z = AND(a, a): a stuck-at-1 on one branch pin leaves z == a.
+	c, err := netlist.NewBuilder("red").
+		Inputs("a").
+		Gate("z", logic.OpAnd, "a", "a").
+		Output("z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := c.MustNodeID("z")
+	f := fault.Fault{Site: fault.Site{Node: z, Pin: 0}, SA: logic.One}
+	res := Run(c, []fault.Fault{f}, smallOptions())
+	if res.Status[f] != StatusRedundant {
+		t.Fatalf("status = %s, want redundant", res.Status[f])
+	}
+	if res.FaultEfficiency() != 100 || res.FaultCoverage() != 0 {
+		t.Fatalf("FC %.1f FE %.1f", res.FaultCoverage(), res.FaultEfficiency())
+	}
+}
+
+func TestSequentialFig2C1(t *testing.T) {
+	c := netlist.Fig2C1()
+	reps, _ := fault.Collapse(c)
+	res := Run(c, reps, smallOptions())
+	det, red, ab := res.Counts()
+	t.Logf("Fig2C1: %d detected, %d redundant, %d aborted of %d (evals %d, backtracks %d)",
+		det, red, ab, len(reps), res.Effort.Evals, res.Effort.Backtracks)
+	// A s-a-0 is combinationally testable yet sequentially undetectable
+	// with unknown initial state (the faulty machine degenerates to a
+	// toggler whose phase is unknown), so exactly one abort is correct.
+	if ab != 1 {
+		t.Fatalf("aborted = %d, want exactly 1 (A s-a-0)", ab)
+	}
+	a := c.MustNodeID("A")
+	if res.Status[fault.Fault{Site: fault.Site{Node: a, Pin: fault.StemPin}, SA: logic.Zero}] != StatusAborted {
+		t.Fatal("the aborted fault should be A s-a-0")
+	}
+	if det == 0 {
+		t.Fatal("no faults detected")
+	}
+	// Consistency: the final test set must detect every detected fault.
+	fr := fsim.Run(c, reps, res.TestSet)
+	for _, f := range reps {
+		if res.Status[f] == StatusDetected {
+			if _, ok := fr.DetectedAt[f]; !ok {
+				t.Fatalf("fault %s marked detected but test set misses it", f.Name(c))
+			}
+		}
+	}
+	if res.Effort.Evals == 0 {
+		t.Fatal("effort metering is dead")
+	}
+}
+
+func TestFig5TargetFault(t *testing.T) {
+	c := netlist.Fig5N1()
+	f := fault.Fault{Site: fault.Site{Node: c.MustNodeID("G2"), Pin: 0}, SA: logic.One}
+	res := Run(c, []fault.Fault{f}, smallOptions())
+	if res.Status[f] != StatusDetected {
+		t.Fatalf("status = %s", res.Status[f])
+	}
+	if _, ok := fsim.DetectsSerial(c, f, res.TestSet); !ok {
+		t.Fatal("generated test does not detect the target")
+	}
+}
+
+// TestDetectedAlwaysVerifies is the central soundness property: every
+// fault the generator marks detected must be confirmed by the
+// independent fault simulator on the emitted test set.
+func TestDetectedAlwaysVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 20; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(3), Outputs: 1 + rng.Intn(2),
+			Gates: 3 + rng.Intn(20), DFFs: rng.Intn(4), MaxFanin: 3,
+		})
+		reps, _ := fault.Collapse(c)
+		opt := smallOptions()
+		opt.RandomPhase = iter%2 == 0
+		opt.GuidedBacktrace = iter%3 != 0
+		res := Run(c, reps, opt)
+		fr := fsim.Run(c, reps, res.TestSet)
+		for _, f := range reps {
+			if res.Status[f] == StatusDetected {
+				if _, ok := fr.DetectedAt[f]; !ok {
+					t.Fatalf("%s: fault %s marked detected, not confirmed", c.Name, f.Name(c))
+				}
+			}
+		}
+	}
+}
+
+// TestRedundantNeverDetectable cross-checks redundancy calls against
+// exhaustive functional detection on tiny circuits.
+func TestRedundantNeverDetectable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for iter := 0; iter < 40 && checked < 6; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 2, Outputs: 1,
+			Gates: 3 + rng.Intn(8), DFFs: rng.Intn(3), MaxFanin: 3,
+		})
+		reps, _ := fault.Collapse(c)
+		res := Run(c, reps, smallOptions())
+		for _, f := range reps {
+			if res.Status[f] != StatusRedundant {
+				continue
+			}
+			checked++
+			// Try every binary sequence of length up to 3.
+			for n := 1; n <= 3; n++ {
+				total := 1
+				for i := 0; i < n; i++ {
+					total *= 4
+				}
+				for w := 0; w < total; w++ {
+					seq := make(sim.Seq, n)
+					x := w
+					for i := 0; i < n; i++ {
+						seq[i] = sim.UnpackVec(uint64(x%4), 2)
+						x /= 4
+					}
+					if _, ok := fsim.DetectsFunctional(c, f, seq); ok {
+						t.Fatalf("%s: fault %s called redundant but detected by %s",
+							c.Name, f.Name(c), sim.SeqString(seq))
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no redundant faults sampled")
+	}
+}
+
+func TestRandomPhaseDropsFaults(t *testing.T) {
+	c := netlist.Fig5N1()
+	reps, _ := fault.Collapse(c)
+	opt := DefaultOptions()
+	opt.RandomLength = 32
+	opt.RandomCount = 2
+	res := Run(c, reps, opt)
+	if res.FaultCoverage() < 80 {
+		t.Fatalf("coverage %.1f too low for N1", res.FaultCoverage())
+	}
+	if len(res.Tests) == 0 {
+		t.Fatal("no tests emitted")
+	}
+}
+
+func TestGuidedVsNaiveBothComplete(t *testing.T) {
+	c := netlist.Fig2C2()
+	reps, _ := fault.Collapse(c)
+	// C2 inherits C1's undetectable A s-a-0 plus its retimed sibling on
+	// Q1, so two aborts are expected regardless of the heuristic.
+	var counts [2][3]int
+	for i, guided := range []bool{true, false} {
+		opt := smallOptions()
+		opt.GuidedBacktrace = guided
+		res := Run(c, reps, opt)
+		counts[i][0], counts[i][1], counts[i][2] = res.Counts()
+		if ab := counts[i][2]; ab > 2 {
+			t.Fatalf("guided=%v: %d aborted, want <= 2", guided, ab)
+		}
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("heuristics disagree on outcomes: %v vs %v", counts[0], counts[1])
+	}
+}
+
+func TestFaultStatusString(t *testing.T) {
+	if StatusDetected.String() != "detected" || StatusRedundant.String() != "redundant" || StatusAborted.String() != "aborted" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestAbortOnTinyBudget(t *testing.T) {
+	c := netlist.Fig2C2()
+	reps, _ := fault.Collapse(c)
+	opt := smallOptions()
+	opt.MaxEvalsPerFault = 10 // absurdly small
+	res := Run(c, reps, opt)
+	_, _, ab := res.Counts()
+	if ab == 0 {
+		t.Fatal("expected aborts under a 10-eval budget")
+	}
+}

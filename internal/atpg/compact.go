@@ -1,0 +1,61 @@
+package atpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// CompactTests performs static test-set compaction: it drops generated
+// subsequences (newest first, since later tests target the rare faults
+// while early random sequences overlap heavily) whenever the remaining
+// concatenation still detects every fault the full set detected.
+//
+// Dropping whole subsequences is sound because each subsequence was
+// validated from the all-X state: 3-valued detection from X holds for
+// every initial state, so a subsequence keeps its detections wherever
+// it lands in the concatenated stream.
+func CompactTests(c *netlist.Circuit, faults []fault.Fault, tests []sim.Seq) []sim.Seq {
+	if len(tests) <= 1 {
+		return tests
+	}
+	concat := func(seqs []sim.Seq, skip int) sim.Seq {
+		var out sim.Seq
+		for i, s := range seqs {
+			if i == skip {
+				continue
+			}
+			out = append(out, s...)
+		}
+		return out
+	}
+	baseline := fsim.Run(c, faults, concat(tests, -1)).Detected()
+	kept := append([]sim.Seq(nil), tests...)
+	// Passes run to a fixpoint: removing one sequence can make an
+	// earlier-checked one redundant, so a single sweep is not 1-minimal.
+	for {
+		dropped := false
+		for i := len(kept) - 1; i >= 0 && len(kept) > 1; i-- {
+			if fsim.Run(c, faults, concat(kept, i)).Detected() == baseline {
+				kept = append(kept[:i], kept[i+1:]...)
+				dropped = true
+			}
+		}
+		if !dropped {
+			return kept
+		}
+	}
+}
+
+// Compact applies CompactTests to a result in place, rebuilding the
+// concatenated TestSet. It returns the number of vectors saved.
+func (r *Result) Compact() int {
+	before := len(r.TestSet)
+	r.Tests = CompactTests(r.Circuit, r.Faults, r.Tests)
+	r.TestSet = nil
+	for _, s := range r.Tests {
+		r.TestSet = append(r.TestSet, s...)
+	}
+	return before - len(r.TestSet)
+}

@@ -1,0 +1,80 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestCompactPreservesCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 10; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(3), Outputs: 1 + rng.Intn(2),
+			Gates: 4 + rng.Intn(20), DFFs: rng.Intn(4), MaxFanin: 3,
+		})
+		reps, _ := fault.Collapse(c)
+		opt := smallOptions()
+		opt.RandomPhase = true
+		opt.RandomCount = 8
+		opt.RandomLength = 24
+		res := Run(c, reps, opt)
+		before := fsim.Run(c, reps, res.TestSet).Detected()
+		saved := res.Compact()
+		after := fsim.Run(c, reps, res.TestSet).Detected()
+		if after != before {
+			t.Fatalf("%s: compaction lost coverage: %d -> %d", c.Name, before, after)
+		}
+		if saved < 0 {
+			t.Fatalf("negative savings %d", saved)
+		}
+	}
+}
+
+func TestCompactIdempotentAndMinimal(t *testing.T) {
+	c := netlist.Fig2C1()
+	reps, _ := fault.Collapse(c)
+	opt := smallOptions()
+	opt.RandomPhase = true
+	opt.RandomCount = 8 // heavily overlapping random sequences
+	opt.RandomLength = 32
+	res := Run(c, reps, opt)
+	if len(res.Tests) < 2 {
+		t.Skip("not enough sequences to compact")
+	}
+	res.Compact()
+	baseline := fsim.Run(c, reps, res.TestSet).Detected()
+	// After compaction, every remaining subsequence is load-bearing:
+	// dropping any one of them loses detections.
+	if len(res.Tests) > 1 {
+		for i := range res.Tests {
+			var trial sim.Seq
+			for j, s := range res.Tests {
+				if j == i {
+					continue
+				}
+				trial = append(trial, s...)
+			}
+			if fsim.Run(c, reps, trial).Detected() == baseline {
+				t.Fatalf("sequence %d is still redundant after compaction", i)
+			}
+		}
+	}
+	// Re-running compaction must be a no-op.
+	if res.Compact() != 0 {
+		t.Fatal("compaction is not idempotent")
+	}
+}
+
+func TestCompactSingleSequence(t *testing.T) {
+	c := netlist.Fig2C1()
+	reps, _ := fault.Collapse(c)
+	seqs := []sim.Seq{sim.ParseSeq("11,00,10")}
+	if got := CompactTests(c, reps, seqs); len(got) != 1 {
+		t.Fatalf("single sequence must survive, got %d", len(got))
+	}
+}

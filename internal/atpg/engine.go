@@ -1,0 +1,755 @@
+package atpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// engine is the per-circuit PODEM machinery. One engine is reused for
+// every target fault; generate resets the per-fault state.
+type engine struct {
+	c     *netlist.Circuit
+	opt   Options
+	order []int
+	// SCOAP-style controllability costs (guided backtrace).
+	cost0, cost1 []int64
+
+	// per-fault search state
+	f          fault.Fault
+	frames     int
+	free       bool // free-state (redundancy check) mode
+	pi         [][]logic.V
+	state      []logic.V
+	val        [][]logic.C
+	evals      int64
+	backtracks int64
+	budget     int64
+
+	// reusable rail buffers for the simulate hot loop
+	goodBuf, faultyBuf []logic.V
+	// dirty is the first frame whose values are stale; frames are only
+	// re-evaluated from there (an assignment at frame t cannot change
+	// earlier frames).
+	dirty int
+	// xmark is the visited set of the X-path check, sized frames*nodes.
+	xmark []bool
+	// isOut marks primary-output nodes for O(1) lookup in hot loops.
+	isOut []bool
+	// seed is the synchronizing stimulus prefix (SyncSeed option).
+	seed sim.Seq
+
+	// btFail memoizes backtrace dead ends within one top-level call;
+	// without it the alternative-input DFS is exponential on
+	// reconvergent logic whose paths all end at the uncontrollable
+	// initial state.
+	btFail map[btKey]bool
+}
+
+// btKey identifies a failed backtrace subgoal.
+type btKey struct {
+	node, frame int
+	v           logic.V
+}
+
+func newEngine(c *netlist.Circuit, opt Options) *engine {
+	order, err := c.Levelize()
+	if err != nil {
+		panic(err)
+	}
+	e := &engine{c: c, opt: opt, order: order, isOut: make([]bool, len(c.Nodes))}
+	for _, id := range c.Outputs {
+		e.isOut[id] = true
+	}
+	if opt.GuidedBacktrace {
+		e.computeControllability()
+	}
+	if opt.SyncSeed {
+		e.seed = findSyncSeed(c)
+	}
+	return e
+}
+
+// findSyncSeed looks for a short structural synchronizing sequence made
+// of a held constant vector: all zeros, all ones, or a single bit set or
+// cleared -- the patterns that activate reset/enable-style controls. It
+// returns nil when none of these initializes the machine.
+func findSyncSeed(c *netlist.Circuit) sim.Seq {
+	in := len(c.Inputs)
+	limit := 2*len(c.DFFs) + 4
+	var candidates []sim.Vec
+	zeros := make(sim.Vec, in)
+	ones := make(sim.Vec, in)
+	for i := range ones {
+		ones[i] = logic.One
+	}
+	candidates = append(candidates, zeros, ones)
+	for i := 0; i < in; i++ {
+		hot := make(sim.Vec, in)
+		hot[i] = logic.One
+		cold := make(sim.Vec, in)
+		for j := range cold {
+			cold[j] = logic.One
+		}
+		cold[i] = logic.Zero
+		candidates = append(candidates, hot, cold)
+	}
+	var best sim.Seq
+	m := fsim.NewMachine(c, nil)
+	for _, v := range candidates {
+		m.Reset()
+		for k := 1; k <= limit; k++ {
+			m.Step(v)
+			if m.Synchronized() {
+				if best == nil || k < len(best) {
+					best = make(sim.Seq, k)
+					for t := range best {
+						best[t] = v
+					}
+				}
+				break
+			}
+		}
+	}
+	return best
+}
+
+// excitable reports whether the fault site's good rail is still unknown
+// in some frame, i.e. a new fault effect can still be created.
+func (e *engine) excitable() bool {
+	drv := e.siteDriver()
+	for t := 0; t < e.frames; t++ {
+		if e.val[t][drv].Good == logic.X {
+			return true
+		}
+	}
+	return false
+}
+
+// decision is one PODEM decision: a primary input of some frame, or
+// (frame == -1) a free-state variable.
+type decision struct {
+	frame   int
+	idx     int
+	v       logic.V
+	flipped bool
+}
+
+// generate runs the full per-fault flow: optional redundancy check,
+// then iterative deepening PODEM. It returns the test sequence when one
+// is found.
+func (e *engine) generate(f fault.Fault) (sim.Seq, FaultStatus) {
+	e.f = f
+	e.evals, e.backtracks = 0, 0
+	e.budget = e.opt.MaxEvalsPerFault
+
+	if e.opt.IdentifyRedundant {
+		found, exhausted := e.podem(1, true)
+		if !found && exhausted {
+			return nil, StatusRedundant
+		}
+	}
+	for n := 1; n <= e.opt.MaxFrames; n++ {
+		found, _ := e.podem(n, false)
+		if found {
+			return e.extractTest(), StatusDetected
+		}
+		if e.budget > 0 && e.evals >= e.budget {
+			break
+		}
+	}
+	return nil, StatusAborted
+}
+
+// podem runs the branch-and-bound search over n frames. It reports
+// whether a test was found and, if not, whether the search space was
+// exhausted (as opposed to hitting a limit).
+func (e *engine) podem(n int, free bool) (found, exhausted bool) {
+	// The synchronizing seed occupies extra leading frames; the search
+	// space (decision variables) stays the n requested frames.
+	nSeed := 0
+	if !free && e.seed != nil {
+		nSeed = len(e.seed)
+	}
+	e.frames = nSeed + n
+	e.free = free
+	e.pi = make([][]logic.V, e.frames)
+	for t := range e.pi {
+		e.pi[t] = make([]logic.V, len(e.c.Inputs))
+		if t < nSeed {
+			copy(e.pi[t], e.seed[t])
+			continue
+		}
+		for i := range e.pi[t] {
+			e.pi[t][i] = logic.X
+		}
+	}
+	n = e.frames
+	e.state = make([]logic.V, len(e.c.DFFs))
+	for i := range e.state {
+		e.state[i] = logic.X
+	}
+	if e.val == nil || len(e.val) < n {
+		old := e.val
+		e.val = make([][]logic.C, n)
+		copy(e.val, old)
+	}
+	for t := 0; t < n; t++ {
+		if e.val[t] == nil {
+			e.val[t] = make([]logic.C, len(e.c.Nodes))
+		}
+	}
+	e.dirty = 0 // full re-evaluation for the new fault/frame count
+
+	var stack []decision
+	backtracksLeft := int64(e.opt.MaxBacktracks)
+	for {
+		if e.budget > 0 && e.evals >= e.budget {
+			return false, false
+		}
+		e.simulate()
+		if e.detected() {
+			return true, false
+		}
+		if dec, ok := e.nextDecision(); ok {
+			e.assign(dec.frame, dec.idx, dec.v)
+			stack = append(stack, dec)
+			continue
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				return false, true
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				backtracksLeft--
+				e.backtracks++
+				if backtracksLeft < 0 {
+					return false, false
+				}
+				top.flipped = true
+				top.v = logic.Not(top.v)
+				e.assign(top.frame, top.idx, top.v)
+				break
+			}
+			e.assign(top.frame, top.idx, logic.X)
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+func (e *engine) assign(frame, idx int, v logic.V) {
+	if frame < 0 {
+		e.state[idx] = v
+		e.dirty = 0
+		return
+	}
+	e.pi[frame][idx] = v
+	if frame < e.dirty {
+		e.dirty = frame
+	}
+}
+
+// inject applies the target fault to the value on the given site: the
+// faulty rail is forced to the stuck value, the good rail is untouched.
+func (e *engine) inject(site fault.Site, c logic.C) logic.C {
+	if site == e.f.Site {
+		c.Faulty = e.f.SA
+	}
+	return c
+}
+
+// simulate evaluates every frame of the expansion. The gate loop is the
+// generator's hot path, so composite values are evaluated rail-wise
+// over reusable buffers instead of through logic.EvalC (which would
+// allocate per call). Fault injection is hoisted out of the inner loop:
+// only the faulty node's own evaluation consults the site.
+func (e *engine) simulate() {
+	c := e.c
+	goodBuf := e.goodBuf[:0]
+	faultyBuf := e.faultyBuf[:0]
+	start := e.dirty
+	if start > e.frames {
+		start = 0
+	}
+	e.dirty = e.frames
+	for t := start; t < e.frames; t++ {
+		vals := e.val[t]
+		for i, id := range c.Inputs {
+			vals[id] = e.inject(fault.Site{Node: id, Pin: fault.StemPin}, logic.CFromV(e.pi[t][i]))
+		}
+		for i, id := range c.DFFs {
+			var in logic.C
+			switch {
+			case t > 0:
+				in = e.inject(fault.Site{Node: id, Pin: 0}, e.val[t-1][c.Nodes[id].Fanin[0]])
+			case e.free:
+				in = logic.CFromV(e.state[i])
+			default:
+				in = logic.CX
+			}
+			vals[id] = e.inject(fault.Site{Node: id, Pin: fault.StemPin}, in)
+		}
+		for _, id := range e.order {
+			n := &c.Nodes[id]
+			goodBuf, faultyBuf = goodBuf[:0], faultyBuf[:0]
+			if e.f.Node == id && !e.f.IsStem() {
+				for pin, fi := range n.Fanin {
+					v := vals[fi]
+					if pin == e.f.Pin {
+						v.Faulty = e.f.SA
+					}
+					goodBuf = append(goodBuf, v.Good)
+					faultyBuf = append(faultyBuf, v.Faulty)
+				}
+			} else {
+				for _, fi := range n.Fanin {
+					goodBuf = append(goodBuf, vals[fi].Good)
+					faultyBuf = append(faultyBuf, vals[fi].Faulty)
+				}
+			}
+			out := logic.C{Good: logic.Eval(n.Op, goodBuf), Faulty: logic.Eval(n.Op, faultyBuf)}
+			if e.f.Node == id && e.f.IsStem() {
+				out.Faulty = e.f.SA
+			}
+			vals[id] = out
+			e.evals++
+		}
+	}
+	e.goodBuf, e.faultyBuf = goodBuf, faultyBuf
+}
+
+// detected reports whether a fault effect reaches an observation point:
+// a primary output in any frame, plus (free mode) the pseudo outputs --
+// the flip-flop data inputs of the final frame.
+func (e *engine) detected() bool {
+	for t := 0; t < e.frames; t++ {
+		for _, id := range e.c.Outputs {
+			if e.val[t][id].IsError() {
+				return true
+			}
+		}
+	}
+	if e.free {
+		last := e.frames - 1
+		for _, id := range e.c.DFFs {
+			v := e.inject(fault.Site{Node: id, Pin: 0}, e.val[last][e.c.Nodes[id].Fanin[0]])
+			if v.IsError() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// siteValue returns the composite value on the fault site's line at
+// frame t (after injection).
+func (e *engine) siteValue(t int) logic.C {
+	if e.f.IsStem() {
+		return e.val[t][e.f.Node]
+	}
+	drv := e.c.Nodes[e.f.Node].Fanin[e.f.Pin]
+	return e.inject(e.f.Site, e.val[t][drv])
+}
+
+// siteDriver returns the node whose output value feeds the fault site.
+func (e *engine) siteDriver() int {
+	if e.f.IsStem() {
+		return e.f.Node
+	}
+	return e.c.Nodes[e.f.Node].Fanin[e.f.Pin]
+}
+
+// xpathExists is the classical X-path check: it reports whether some
+// existing fault effect can still reach an observation point through
+// nodes whose value is not yet fully determined. Both rails being known
+// is monotone under refinement, so a failed check soundly prunes the
+// whole subtree. Without this check PODEM keeps chasing D-frontier
+// gates whose errors are blocked everywhere downstream.
+func (e *engine) xpathExists() bool {
+	c := e.c
+	n := len(c.Nodes)
+	if len(e.xmark) < e.frames*n {
+		e.xmark = make([]bool, e.frames*n)
+	} else {
+		for i := 0; i < e.frames*n; i++ {
+			e.xmark[i] = false
+		}
+	}
+	open := func(t, id int) bool {
+		v := e.val[t][id]
+		return v.Good == logic.X || v.Faulty == logic.X || v.IsError()
+	}
+	var stack []int32
+	push := func(t, id int) {
+		k := t*n + id
+		if !e.xmark[k] {
+			e.xmark[k] = true
+			stack = append(stack, int32(k))
+		}
+	}
+	// Seeds: every node already carrying an error, plus -- for a branch
+	// fault -- the consuming node of the faulted input line, whose error
+	// is only visible on the injected line, not on any node output.
+	for t := 0; t < e.frames; t++ {
+		for id := range c.Nodes {
+			if e.val[t][id].IsError() {
+				push(t, id)
+			}
+		}
+		if !e.f.IsStem() && e.siteValue(t).IsError() {
+			id := e.f.Node
+			if c.Nodes[id].Kind == netlist.KindDFF {
+				if t+1 < e.frames {
+					push(t+1, id)
+				} else if e.free {
+					return true
+				}
+			} else if open(t, id) {
+				push(t, id)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t, id := int(k)/n, int(k)%n
+		if e.isOut[id] {
+			return true
+		}
+		for _, s := range c.Nodes[id].Fanout {
+			if c.Nodes[s].Kind == netlist.KindDFF {
+				if t+1 < e.frames {
+					push(t+1, s) // the register forwards any value
+				} else if e.free {
+					return true // pseudo output in redundancy mode
+				}
+				continue
+			}
+			if open(t, s) {
+				push(t, s)
+			}
+		}
+	}
+	return false
+}
+
+// nextDecision finds an objective (propagation first, then excitation)
+// and backtraces it to an unassigned input; ok is false when no
+// objective remains, which triggers a backtrack.
+func (e *engine) nextDecision() (decision, bool) {
+	excited := false
+	for t := 0; t < e.frames; t++ {
+		if e.siteValue(t).IsError() {
+			excited = true
+			break
+		}
+	}
+	if excited && !e.xpathExists() {
+		// An effect exists but can no longer reach any observation
+		// point: every extension of this assignment is futile unless a
+		// different frame can still be excited, which the excitation
+		// loop below would need an un-excited X site for -- covered by
+		// falling through when the site is saturated.
+		if !e.excitable() {
+			return decision{}, false
+		}
+	}
+	// Propagation: drive an error through a D-frontier gate.
+	for t := e.frames - 1; t >= 0; t-- {
+		for _, id := range e.order {
+			n := &e.c.Nodes[id]
+			out := e.val[t][id]
+			if out.IsError() || !out.MaybeError() {
+				continue
+			}
+			hasError := false
+			for pin, fi := range n.Fanin {
+				if e.inject(fault.Site{Node: id, Pin: pin}, e.val[t][fi]).IsError() {
+					hasError = true
+					break
+				}
+			}
+			if !hasError {
+				continue
+			}
+			// Set one unknown side input to the non-controlling value.
+			want := logic.One
+			if cv, ok := n.Op.ControllingValue(); ok {
+				want = logic.Not(cv)
+			} else if n.Op == logic.OpXor || n.Op == logic.OpXnor {
+				want = logic.Zero
+			}
+			for _, fi := range n.Fanin {
+				if e.val[t][fi].Good != logic.X {
+					continue
+				}
+				if dec, ok := e.backtrace(fi, t, want); ok {
+					return dec, true
+				}
+			}
+		}
+	}
+	// Excitation: make the good rail at the fault site the complement
+	// of the stuck value in some frame.
+	drv := e.siteDriver()
+	for t := 0; t < e.frames; t++ {
+		if e.siteValue(t).IsError() {
+			continue // already excited here
+		}
+		if e.val[t][drv].Good != logic.X {
+			continue
+		}
+		if dec, ok := e.backtrace(drv, t, logic.Not(e.f.SA)); ok {
+			return dec, true
+		}
+	}
+	return decision{}, false
+}
+
+// backtrace walks from an objective (node, frame, desired good value)
+// to an unassigned primary input (or free-state variable), flipping the
+// desired value through inverting gates and crossing flip-flops into
+// earlier frames. It explores alternative unknown inputs depth-first so
+// a dead end at the uncontrollable initial state does not hide a
+// controllable path; dead ends are memoized per call to keep the
+// exploration linear.
+func (e *engine) backtrace(node, frame int, v logic.V) (decision, bool) {
+	if e.btFail == nil {
+		e.btFail = make(map[btKey]bool)
+	} else {
+		clear(e.btFail)
+	}
+	return e.backtraceMemo(node, frame, v)
+}
+
+func (e *engine) backtraceMemo(node, frame int, v logic.V) (decision, bool) {
+	key := btKey{node, frame, v}
+	if e.btFail[key] {
+		return decision{}, false
+	}
+	dec, ok := e.backtraceStep(node, frame, v)
+	if !ok {
+		e.btFail[key] = true
+	}
+	return dec, ok
+}
+
+func (e *engine) backtraceStep(node, frame int, v logic.V) (decision, bool) {
+	n := &e.c.Nodes[node]
+	switch n.Kind {
+	case netlist.KindInput:
+		idx := e.c.InputIndex(node)
+		if e.pi[frame][idx] != logic.X {
+			return decision{}, false
+		}
+		return decision{frame: frame, idx: idx, v: v}, true
+	case netlist.KindDFF:
+		if frame == 0 {
+			if !e.free {
+				return decision{}, false
+			}
+			idx := e.c.DFFIndex(node)
+			if e.state[idx] != logic.X {
+				return decision{}, false
+			}
+			return decision{frame: -1, idx: idx, v: v}, true
+		}
+		return e.backtraceMemo(n.Fanin[0], frame-1, v)
+	}
+	// Combinational gate.
+	switch n.Op {
+	case logic.OpConst0, logic.OpConst1:
+		return decision{}, false
+	case logic.OpBuf:
+		return e.backtraceMemo(n.Fanin[0], frame, v)
+	case logic.OpNot:
+		return e.backtraceMemo(n.Fanin[0], frame, logic.Not(v))
+	case logic.OpXor, logic.OpXnor:
+		want := v
+		if n.Op == logic.OpXnor {
+			want = logic.Not(want)
+		}
+		// Desired value for the chosen unknown input assumes the other
+		// unknowns stay at 0; complements are explored by backtracking.
+		parity := logic.Zero
+		var unknowns []int
+		for _, fi := range n.Fanin {
+			g := e.val[frame][fi].Good
+			if g == logic.X {
+				unknowns = append(unknowns, fi)
+			} else {
+				parity = logic.Xor(parity, g)
+			}
+		}
+		for _, fi := range unknowns {
+			if dec, ok := e.backtraceMemo(fi, frame, logic.Xor(want, parity)); ok {
+				return dec, true
+			}
+		}
+		return decision{}, false
+	}
+	// AND/OR family.
+	want := v
+	if n.Op.Inverting() {
+		want = logic.Not(want)
+	}
+	unknowns := e.unknownInputs(n, frame, want)
+	for _, fi := range unknowns {
+		if dec, ok := e.backtraceMemo(fi, frame, want); ok {
+			return dec, true
+		}
+	}
+	return decision{}, false
+}
+
+// unknownInputs returns the gate's X-valued fanins ordered by the
+// backtrace heuristic: cheapest-to-control first when guidance is on.
+func (e *engine) unknownInputs(n *netlist.Node, frame int, want logic.V) []int {
+	var unknowns []int
+	for _, fi := range n.Fanin {
+		if e.val[frame][fi].Good == logic.X {
+			unknowns = append(unknowns, fi)
+		}
+	}
+	if !e.opt.GuidedBacktrace || len(unknowns) < 2 {
+		return unknowns
+	}
+	cost := e.cost1
+	if want == logic.Zero {
+		cost = e.cost0
+	}
+	// insertion sort by cost; fanin lists are short
+	for i := 1; i < len(unknowns); i++ {
+		for j := i; j > 0 && cost[unknowns[j-1]] > cost[unknowns[j]]; j-- {
+			unknowns[j-1], unknowns[j] = unknowns[j], unknowns[j-1]
+		}
+	}
+	return unknowns
+}
+
+// extractTest renders the current PI assignment as a test sequence,
+// filling unassigned inputs with the configured fill value.
+func (e *engine) extractTest() sim.Seq {
+	fill := e.opt.FillValue
+	if fill == logic.X {
+		fill = logic.Zero
+	}
+	seq := make(sim.Seq, e.frames)
+	for t := range seq {
+		v := make(sim.Vec, len(e.c.Inputs))
+		for i := range v {
+			if e.pi[t][i] == logic.X {
+				v[i] = fill
+			} else {
+				v[i] = e.pi[t][i]
+			}
+		}
+		seq[t] = v
+	}
+	return seq
+}
+
+// computeControllability derives SCOAP-flavoured 0/1 controllability
+// costs by relaxation; flip-flop outputs cost extra to discourage
+// backtraces through deep state.
+func (e *engine) computeControllability() {
+	const inf = int64(1) << 40
+	const seqPenalty = 20
+	n := len(e.c.Nodes)
+	e.cost0 = make([]int64, n)
+	e.cost1 = make([]int64, n)
+	for i := range e.cost0 {
+		e.cost0[i], e.cost1[i] = inf, inf
+	}
+	for _, id := range e.c.Inputs {
+		e.cost0[id], e.cost1[id] = 1, 1
+	}
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		update := func(arr []int64, id int, v int64) {
+			if v < arr[id] {
+				arr[id] = v
+				changed = true
+			}
+		}
+		for _, id := range e.c.DFFs {
+			fi := e.c.Nodes[id].Fanin[0]
+			update(e.cost0, id, sat(e.cost0[fi]+seqPenalty))
+			update(e.cost1, id, sat(e.cost1[fi]+seqPenalty))
+		}
+		for _, id := range e.order {
+			nd := &e.c.Nodes[id]
+			c0, c1 := gateControllability(nd, e.cost0, e.cost1)
+			update(e.cost0, id, c0)
+			update(e.cost1, id, c1)
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func sat(v int64) int64 {
+	const inf = int64(1) << 40
+	if v > inf {
+		return inf
+	}
+	return v
+}
+
+// gateControllability returns the SCOAP-style cost of setting the gate
+// output to 0 and to 1.
+func gateControllability(n *netlist.Node, cost0, cost1 []int64) (int64, int64) {
+	const inf = int64(1) << 40
+	minOf := func(arr []int64) int64 {
+		m := inf
+		for _, fi := range n.Fanin {
+			if arr[fi] < m {
+				m = arr[fi]
+			}
+		}
+		return m
+	}
+	sumOf := func(arr []int64) int64 {
+		var s int64
+		for _, fi := range n.Fanin {
+			s = sat(s + arr[fi])
+		}
+		return s
+	}
+	switch n.Op {
+	case logic.OpConst0:
+		return 0, inf
+	case logic.OpConst1:
+		return inf, 0
+	case logic.OpBuf:
+		return sat(cost0[n.Fanin[0]] + 1), sat(cost1[n.Fanin[0]] + 1)
+	case logic.OpNot:
+		return sat(cost1[n.Fanin[0]] + 1), sat(cost0[n.Fanin[0]] + 1)
+	case logic.OpAnd:
+		return sat(minOf(cost0) + 1), sat(sumOf(cost1) + 1)
+	case logic.OpNand:
+		return sat(sumOf(cost1) + 1), sat(minOf(cost0) + 1)
+	case logic.OpOr:
+		return sat(sumOf(cost0) + 1), sat(minOf(cost1) + 1)
+	case logic.OpNor:
+		return sat(minOf(cost1) + 1), sat(sumOf(cost0) + 1)
+	case logic.OpXor, logic.OpXnor:
+		// Cheap approximation: either rail costs the sum of the easier
+		// sides plus one.
+		var s int64
+		for _, fi := range n.Fanin {
+			c := cost0[fi]
+			if cost1[fi] < c {
+				c = cost1[fi]
+			}
+			s = sat(s + c)
+		}
+		return sat(s + 1), sat(s + 1)
+	}
+	return inf, inf
+}

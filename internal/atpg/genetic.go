@@ -1,0 +1,172 @@
+package atpg
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Simulation-based sequential test generation in the GATEST/CRIS
+// tradition: evolve candidate test sequences under a fault-simulation
+// fitness instead of branch-and-bound search. It is the natural
+// baseline for the structural generator -- robust on circuits whose
+// justification search explodes, but unable to prove redundancy and
+// blind to faults random evolution never excites.
+
+// GeneticOptions tunes the evolutionary generator.
+type GeneticOptions struct {
+	Population  int     // candidate sequences per generation
+	Generations int     // generations per phase
+	SeqLen      int     // vectors per candidate
+	Mutation    float64 // per-bit mutation probability
+	Phases      int     // phases (each phase contributes one sequence)
+	Stagnation  int     // stop after this many phases without detections
+	Seed        int64
+}
+
+// DefaultGeneticOptions returns settings comparable in cost to the
+// structural generator's random phase.
+func DefaultGeneticOptions() GeneticOptions {
+	return GeneticOptions{
+		Population:  16,
+		Generations: 8,
+		SeqLen:      48,
+		Mutation:    0.02,
+		Phases:      40,
+		Stagnation:  4,
+		Seed:        1,
+	}
+}
+
+// RunGenetic evolves a test set for the fault list. The result's
+// Status never contains StatusRedundant: a simulation-based generator
+// cannot prove untestability, so undetected faults are all aborted.
+func RunGenetic(c *netlist.Circuit, faults []fault.Fault, opt GeneticOptions) *Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{
+		Circuit: c,
+		Faults:  faults,
+		Status:  make(map[fault.Fault]FaultStatus, len(faults)),
+	}
+	remaining := append([]fault.Fault(nil), faults...)
+	simCost := func(seqLen, nf int) int64 {
+		groups := int64((nf + fsim.GroupWidth - 1) / fsim.GroupWidth)
+		return int64(seqLen) * int64(len(c.Nodes)) * groups
+	}
+
+	stagnant := 0
+	for phase := 0; phase < opt.Phases && len(remaining) > 0 && stagnant < opt.Stagnation; phase++ {
+		pop := make([]sim.Seq, opt.Population)
+		for i := range pop {
+			pop[i] = randomBiasedSeq(rng, len(c.Inputs), opt.SeqLen)
+		}
+		fitness := make([]int, opt.Population)
+		evaluate := func() {
+			for i, seq := range pop {
+				fitness[i] = fsim.Run(c, remaining, seq).Detected()
+				res.Effort.Evals += simCost(len(seq), len(remaining))
+			}
+		}
+		evaluate()
+		for gen := 1; gen < opt.Generations; gen++ {
+			pop = nextGeneration(rng, pop, fitness, opt.Mutation)
+			evaluate()
+		}
+		best := 0
+		for i := range fitness {
+			if fitness[i] > fitness[best] {
+				best = i
+			}
+		}
+		if fitness[best] == 0 {
+			stagnant++
+			continue
+		}
+		stagnant = 0
+		seq := pop[best]
+		res.Tests = append(res.Tests, seq)
+		res.TestSet = append(res.TestSet, seq...)
+		fr := fsim.Run(c, remaining, seq)
+		res.Effort.Evals += simCost(len(seq), len(remaining))
+		for f := range fr.DetectedAt {
+			res.Status[f] = StatusDetected
+		}
+		remaining = fr.Undetected()
+	}
+	res.Effort.Time = time.Since(start)
+	return res
+}
+
+// randomBiasedSeq draws a sequence with a per-input activity bias, the
+// same weighting trick the structural generator's random phase uses.
+func randomBiasedSeq(rng *rand.Rand, inputs, length int) sim.Seq {
+	bias := make([]float64, inputs)
+	for i := range bias {
+		switch rng.Intn(3) {
+		case 0:
+			bias[i] = 0.1
+		case 1:
+			bias[i] = 0.5
+		default:
+			bias[i] = 0.9
+		}
+	}
+	seq := make(sim.Seq, length)
+	for t := range seq {
+		v := make(sim.Vec, inputs)
+		for i := range v {
+			v[i] = logic.FromBool(rng.Float64() < bias[i])
+		}
+		seq[t] = v
+	}
+	return seq
+}
+
+// nextGeneration applies elitism, tournament selection, single-point
+// crossover in the time axis, and per-bit mutation.
+func nextGeneration(rng *rand.Rand, pop []sim.Seq, fitness []int, mutation float64) []sim.Seq {
+	n := len(pop)
+	next := make([]sim.Seq, 0, n)
+	// Elite: keep the best individual unchanged.
+	best := 0
+	for i := range fitness {
+		if fitness[i] > fitness[best] {
+			best = i
+		}
+	}
+	next = append(next, pop[best])
+	tournament := func() sim.Seq {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if fitness[a] >= fitness[b] {
+			return pop[a]
+		}
+		return pop[b]
+	}
+	for len(next) < n {
+		pa, pb := tournament(), tournament()
+		cut := rng.Intn(len(pa))
+		child := make(sim.Seq, len(pa))
+		for t := range child {
+			src := pa
+			if t >= cut {
+				src = pb
+			}
+			v := make(sim.Vec, len(src[t]))
+			copy(v, src[t])
+			for i := range v {
+				if rng.Float64() < mutation {
+					v[i] = logic.Not(v[i])
+				}
+			}
+			child[t] = v
+		}
+		next = append(next, child)
+	}
+	return next
+}

@@ -1,0 +1,80 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+)
+
+func quickGenetic() GeneticOptions {
+	opt := DefaultGeneticOptions()
+	opt.Population = 8
+	opt.Generations = 4
+	opt.SeqLen = 24
+	opt.Phases = 10
+	return opt
+}
+
+func TestGeneticDetectsAndVerifies(t *testing.T) {
+	c := netlist.Fig5N1()
+	reps, _ := fault.Collapse(c)
+	res := RunGenetic(c, reps, quickGenetic())
+	if res.FaultCoverage() < 70 {
+		t.Fatalf("genetic coverage %.1f", res.FaultCoverage())
+	}
+	fr := fsim.Run(c, reps, res.TestSet)
+	for _, f := range reps {
+		if res.Status[f] == StatusDetected {
+			if _, ok := fr.DetectedAt[f]; !ok {
+				t.Fatalf("%s marked detected but unverified", f.Name(c))
+			}
+		}
+	}
+	if res.Effort.Evals == 0 {
+		t.Fatal("effort metering dead")
+	}
+}
+
+func TestGeneticNeverClaimsRedundancy(t *testing.T) {
+	c := netlist.Fig2C2()
+	reps, _ := fault.Collapse(c)
+	res := RunGenetic(c, reps, quickGenetic())
+	for _, f := range reps {
+		if res.Status[f] == StatusRedundant {
+			t.Fatalf("genetic generator claimed redundancy for %s", f.Name(c))
+		}
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	c := netlist.Fig2C1()
+	reps, _ := fault.Collapse(c)
+	a := RunGenetic(c, reps, quickGenetic())
+	b := RunGenetic(c, reps, quickGenetic())
+	if a.FaultCoverage() != b.FaultCoverage() || len(a.TestSet) != len(b.TestSet) {
+		t.Fatal("genetic generator is not seed-deterministic")
+	}
+}
+
+func TestGeneticOnRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for i := 0; i < 5; i++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(3), Outputs: 1 + rng.Intn(2),
+			Gates: 5 + rng.Intn(20), DFFs: rng.Intn(4), MaxFanin: 3,
+		})
+		reps, _ := fault.Collapse(c)
+		res := RunGenetic(c, reps, quickGenetic())
+		fr := fsim.Run(c, reps, res.TestSet)
+		if fr.Detected() != len(res.Status) {
+			// every status entry is a detection
+			det, _, _ := res.Counts()
+			if fr.Detected() < det {
+				t.Fatalf("%s: verified %d < claimed %d", c.Name, fr.Detected(), det)
+			}
+		}
+	}
+}

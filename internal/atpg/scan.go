@@ -1,0 +1,168 @@
+package atpg
+
+import (
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Full-scan test generation: the design-for-testability baseline the
+// paper's conclusion argues against (retiming-based test mapping costs
+// no silicon area or performance, scan does). Under full scan every
+// flip-flop is load/observe-able, so test generation collapses to the
+// single-frame free-state search the redundancy identifier already
+// uses, and test application pays chain-shifting cycles per pattern.
+
+// ScanPattern is one scan test: a state to shift in and a primary input
+// vector to apply.
+type ScanPattern struct {
+	State sim.Vec
+	In    sim.Vec
+}
+
+// ScanResult reports a full-scan ATPG run.
+type ScanResult struct {
+	Circuit  *netlist.Circuit
+	Faults   []fault.Fault
+	Status   map[fault.Fault]FaultStatus
+	Patterns []ScanPattern
+	Effort   Effort
+}
+
+// Counts returns (detected, redundant, aborted).
+func (r *ScanResult) Counts() (det, red, ab int) {
+	for _, f := range r.Faults {
+		switch r.Status[f] {
+		case StatusDetected:
+			det++
+		case StatusRedundant:
+			red++
+		default:
+			ab++
+		}
+	}
+	return
+}
+
+// FaultCoverage returns detected/total in percent.
+func (r *ScanResult) FaultCoverage() float64 {
+	if len(r.Faults) == 0 {
+		return 100
+	}
+	det, _, _ := r.Counts()
+	return 100 * float64(det) / float64(len(r.Faults))
+}
+
+// ApplicationCycles returns the tester cycles needed to apply the
+// pattern set through a single scan chain: each pattern shifts in
+// #DFF bits, applies one functional cycle, and the response shifts out
+// overlapped with the next shift-in (the standard accounting), plus one
+// final shift-out.
+func (r *ScanResult) ApplicationCycles() int {
+	chain := len(r.Circuit.DFFs)
+	if len(r.Patterns) == 0 {
+		return 0
+	}
+	return len(r.Patterns)*(chain+1) + chain
+}
+
+// RunScan generates full-scan (combinational) tests for the fault list.
+func RunScan(c *netlist.Circuit, faults []fault.Fault, opt Options) *ScanResult {
+	start := time.Now()
+	res := &ScanResult{
+		Circuit: c,
+		Faults:  faults,
+		Status:  make(map[fault.Fault]FaultStatus, len(faults)),
+	}
+	eng := newEngine(c, opt)
+	remaining := append([]fault.Fault(nil), faults...)
+	for len(remaining) > 0 {
+		f := remaining[0]
+		remaining = remaining[1:]
+		if opt.MaxEvalsTotal > 0 && res.Effort.Evals >= opt.MaxEvalsTotal {
+			res.Status[f] = StatusAborted
+			continue
+		}
+		eng.f = f
+		eng.evals, eng.backtracks = 0, 0
+		eng.budget = opt.MaxEvalsPerFault
+		found, exhausted := eng.podem(1, true)
+		res.Effort.Evals += eng.evals
+		res.Effort.Backtracks += eng.backtracks
+		switch {
+		case found:
+			res.Status[f] = StatusDetected
+			p := eng.extractScanPattern(opt)
+			res.Patterns = append(res.Patterns, p)
+			// Fault dropping over the survivors.
+			var kept []fault.Fault
+			for _, g := range remaining {
+				if ScanDetects(c, g, p) {
+					res.Status[g] = StatusDetected
+				} else {
+					kept = append(kept, g)
+				}
+			}
+			remaining = kept
+		case exhausted:
+			res.Status[f] = StatusRedundant
+		default:
+			res.Status[f] = StatusAborted
+		}
+	}
+	res.Effort.Time = time.Since(start)
+	return res
+}
+
+// extractScanPattern renders the free-state assignment as a pattern.
+func (e *engine) extractScanPattern(opt Options) ScanPattern {
+	fill := opt.FillValue
+	if fill == logic.X {
+		fill = logic.Zero
+	}
+	p := ScanPattern{
+		State: make(sim.Vec, len(e.c.DFFs)),
+		In:    make(sim.Vec, len(e.c.Inputs)),
+	}
+	for i, v := range e.state {
+		if v == logic.X {
+			v = fill
+		}
+		p.State[i] = v
+	}
+	for i, v := range e.pi[0] {
+		if v == logic.X {
+			v = fill
+		}
+		p.In[i] = v
+	}
+	return p
+}
+
+// ScanDetects checks a pattern against a fault: load the state, apply
+// the vector, compare primary outputs and next state (both observable
+// under full scan) between the good and faulty machines.
+func ScanDetects(c *netlist.Circuit, f fault.Fault, p ScanPattern) bool {
+	good := fsim.NewMachine(c, nil)
+	bad := fsim.NewMachine(c, &f)
+	good.SetState(p.State)
+	bad.SetState(p.State)
+	og := good.Step(p.In)
+	ob := bad.Step(p.In)
+	for i := range og {
+		if og[i].Known() && ob[i].Known() && og[i] != ob[i] {
+			return true
+		}
+	}
+	sg, sb := good.State(), bad.State()
+	for i := range sg {
+		if sg[i].Known() && sb[i].Known() && sg[i] != sb[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestRunScanFigureCircuits(t *testing.T) {
+	for _, c := range []*netlist.Circuit{
+		netlist.Fig2C1(), netlist.Fig2C2(), netlist.Fig5N1(), netlist.Fig5N2(),
+	} {
+		reps, _ := fault.Collapse(c)
+		res := RunScan(c, reps, smallOptions())
+		_, _, ab := res.Counts()
+		if ab != 0 {
+			t.Errorf("%s: %d aborts under full scan", c.Name, ab)
+		}
+		if res.FaultCoverage() < 90 {
+			t.Errorf("%s: scan coverage %.1f", c.Name, res.FaultCoverage())
+		}
+		// Every pattern-detected fault must verify.
+		for _, f := range reps {
+			if res.Status[f] != StatusDetected {
+				continue
+			}
+			ok := false
+			for _, p := range res.Patterns {
+				if ScanDetects(c, f, p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s: %s marked detected but no pattern detects it", c.Name, f.Name(c))
+			}
+		}
+		if cycles := res.ApplicationCycles(); len(res.Patterns) > 0 &&
+			cycles <= len(res.Patterns) {
+			t.Errorf("%s: application cycles %d must include shifting", c.Name, cycles)
+		}
+	}
+}
+
+// TestScanBeatsSequentialCoverage: full scan makes every fault a
+// combinational problem, so its fault efficiency must be at least that
+// of sequential ATPG under the same budget.
+func TestScanBeatsSequentialCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for i := 0; i < 8; i++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(3), Outputs: 1 + rng.Intn(2),
+			Gates: 5 + rng.Intn(20), DFFs: 1 + rng.Intn(4), MaxFanin: 3,
+		})
+		reps, _ := fault.Collapse(c)
+		opt := smallOptions()
+		scan := RunScan(c, reps, opt)
+		seq := Run(c, reps, opt)
+		sd, sr, _ := scan.Counts()
+		qd, qr, _ := seq.Counts()
+		if sd+sr < qd+qr {
+			t.Errorf("%s: scan classifies %d faults, sequential %d", c.Name, sd+sr, qd+qr)
+		}
+	}
+}
+
+func TestScanRedundantIsSequentialRedundant(t *testing.T) {
+	// The combinationally redundant AND(a,a) pin fault stays redundant
+	// under scan.
+	c, err := netlist.NewBuilder("red").
+		Inputs("a").
+		Gate("z", logic.OpAnd, "a", "a").
+		Output("z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := c.MustNodeID("z")
+	f := fault.Fault{Site: fault.Site{Node: z, Pin: 0}, SA: logic.One}
+	res := RunScan(c, []fault.Fault{f}, smallOptions())
+	if res.Status[f] != StatusRedundant {
+		t.Fatalf("status = %s", res.Status[f])
+	}
+}

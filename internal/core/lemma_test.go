@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/retime"
+	"repro/internal/sim"
+	"repro/internal/stg"
+)
+
+// atomicMovePair builds a pair differing by one atomic move: forward
+// (r = -1) or backward (r = +1) across a single legal vertex.
+func atomicMovePair(t *testing.T, c *netlist.Circuit, rng *rand.Rand, forward bool) *RetimedPair {
+	t.Helper()
+	g := retime.FromCircuit(c)
+	var cands []int
+	for v := range g.Verts {
+		if g.Verts[v].Fixed() {
+			continue
+		}
+		r := g.Zero()
+		if forward {
+			r[v] = -1
+		} else {
+			r[v] = 1
+		}
+		if g.Check(r) == nil {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	r := g.Zero()
+	if forward {
+		r[cands[rng.Intn(len(cands))]] = -1
+	} else {
+		r[cands[rng.Intn(len(cands))]] = 1
+	}
+	pair, err := BuildPair(g, r, c.Name, c.Name+".mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+// syncsToEquivalentSet implements the paper's notion of synchronization
+// for the (optionally faulty) machine: after the sequence, the set of
+// states covered by the ternary state must be mutually equivalent (a
+// unique state is the singleton case).
+func syncsToEquivalentSet(t *testing.T, c *netlist.Circuit, f *fault.Fault, seq sim.Seq) bool {
+	t.Helper()
+	st := stg.SyncState(c, f, seq)
+	covered := stg.CoveredStates(st)
+	if len(covered) == 1 {
+		return true
+	}
+	m, err := stg.Extract(c, f)
+	if err != nil {
+		t.Skipf("machine too large: %v", err)
+	}
+	p, err := stg.JointEquivalence(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.AllEquivalentB(covered)
+}
+
+// TestLemma4ForwardMoveSyncMapping: after one forward atomic move, for
+// every fault f' in K' there exists a corresponding fault f in K such
+// that a synchronizing sequence for K^f, prefixed with one arbitrary
+// vector, synchronizes K'^f'.
+func TestLemma4ForwardMoveSyncMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tested := 0
+	for iter := 0; iter < 80 && tested < 8; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1, Gates: 3 + rng.Intn(8),
+			DFFs: 1 + rng.Intn(3), MaxFanin: 2,
+		})
+		pair := atomicMovePair(t, c, rng, true)
+		if pair == nil || len(pair.Retimed.DFFs) > 5 {
+			continue
+		}
+		checked := false
+		universe := fault.Universe(pair.Retimed)
+		rng.Shuffle(len(universe), func(i, j int) { universe[i], universe[j] = universe[j], universe[i] })
+		if len(universe) > 8 {
+			universe = universe[:8]
+		}
+		for _, fr := range universe {
+			corr := pair.CorrespondingInOriginal(fr)
+			if len(corr) == 0 {
+				continue
+			}
+			// Lemma 4 is existential in f: at least one corresponding
+			// fault's synchronizing sequences must map over. Gather the
+			// corresponding faults that are synchronizable at all.
+			anyFound, anyWorks := false, false
+			for _, fo := range corr {
+				fo := fo
+				seq, ok, err := stg.StructuralSync(pair.Original, &fo, 6)
+				if err != nil || !ok {
+					continue
+				}
+				anyFound = true
+				mapped := pair.MapSyncSequence(seq, true, FillZeros, 0)
+				frc := fr
+				if syncsToEquivalentSet(t, pair.Retimed, &frc, mapped) {
+					anyWorks = true
+					break
+				}
+			}
+			if anyFound {
+				checked = true
+				if !anyWorks {
+					t.Fatalf("%s: Lemma 4 violated for %s", c.Name, fr.Name(pair.Retimed))
+				}
+			}
+		}
+		if checked {
+			tested++
+		}
+	}
+	if tested < 4 {
+		t.Fatalf("only %d instances exercised", tested)
+	}
+}
+
+// TestLemma5BackwardMoveSyncMapping: after one backward atomic move,
+// synchronizing sequences for corresponding faults map over without any
+// prefix.
+func TestLemma5BackwardMoveSyncMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	tested := 0
+	for iter := 0; iter < 80 && tested < 8; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1, Gates: 3 + rng.Intn(8),
+			DFFs: 1 + rng.Intn(3), MaxFanin: 2,
+		})
+		pair := atomicMovePair(t, c, rng, false)
+		if pair == nil || len(pair.Retimed.DFFs) > 5 {
+			continue
+		}
+		if pair.PrefixLengthTests() != 0 {
+			t.Fatalf("backward move must need no prefix, got %d", pair.PrefixLengthTests())
+		}
+		checked := false
+		universe := fault.Universe(pair.Retimed)
+		rng.Shuffle(len(universe), func(i, j int) { universe[i], universe[j] = universe[j], universe[i] })
+		if len(universe) > 8 {
+			universe = universe[:8]
+		}
+		for _, fr := range universe {
+			corr := pair.CorrespondingInOriginal(fr)
+			if len(corr) == 0 {
+				continue
+			}
+			anyFound, anyWorks := false, false
+			for _, fo := range corr {
+				fo := fo
+				seq, ok, err := stg.StructuralSync(pair.Original, &fo, 6)
+				if err != nil || !ok {
+					continue
+				}
+				anyFound = true
+				frc := fr
+				if syncsToEquivalentSet(t, pair.Retimed, &frc, seq) {
+					anyWorks = true
+					break
+				}
+			}
+			if anyFound {
+				checked = true
+				if !anyWorks {
+					t.Fatalf("%s: Lemma 5 violated for %s", c.Name, fr.Name(pair.Retimed))
+				}
+			}
+		}
+		if checked {
+			tested++
+		}
+	}
+	if tested < 4 {
+		t.Fatalf("only %d instances exercised", tested)
+	}
+}
+
+// TestTheorem1Property: a structural-based synchronizing sequence for
+// the original circuit synchronizes any retimed version to a set of
+// states equivalent to the original's target.
+func TestTheorem1Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	tested := 0
+	for iter := 0; iter < 80 && tested < 8; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1, Gates: 3 + rng.Intn(8),
+			DFFs: 1 + rng.Intn(3), MaxFanin: 2,
+		})
+		pair, err := RandomPair(c, rng, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pair.Retimed.DFFs) > 6 || len(pair.Original.DFFs) > 6 {
+			continue
+		}
+		seq, ok, err := stg.StructuralSync(pair.Original, nil, 6)
+		if err != nil || !ok {
+			continue
+		}
+		mo, err := stg.Extract(pair.Original, nil)
+		if err != nil {
+			continue
+		}
+		mr, err := stg.Extract(pair.Retimed, nil)
+		if err != nil {
+			continue
+		}
+		p, err := stg.JointEquivalence(mo, mr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := stg.SyncState(pair.Original, nil, seq)
+		qr := stg.SyncState(pair.Retimed, nil, seq)
+		target := sim.PackVec(q)
+		for _, s := range stg.CoveredStates(qr) {
+			if !p.Equivalent(target, s) {
+				t.Fatalf("%s: Theorem 1 violated: retimed state %b not equivalent to %b",
+					c.Name, s, target)
+			}
+		}
+		tested++
+	}
+	if tested < 4 {
+		t.Fatalf("only %d instances exercised", tested)
+	}
+}

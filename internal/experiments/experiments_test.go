@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atpg"
+)
+
+func TestTableIIVariantNames(t *testing.T) {
+	want := []string{
+		"dk16.ji.sd", "pma.jo.sd",
+		"s510.jc.sd", "s510.jc.sr", "s510.ji.sd", "s510.ji.sr", "s510.jo.sr",
+		"s820.jc.sd", "s820.jc.sr", "s820.ji.sr", "s820.jo.sd", "s820.jo.sr",
+		"s832.jc.sr", "s832.jo.sr",
+		"scf.ji.sd", "scf.jo.sd",
+	}
+	vs := TableIIVariants()
+	if len(vs) != len(want) {
+		t.Fatalf("%d variants, want %d", len(vs), len(want))
+	}
+	for i, v := range vs {
+		if v.Name() != want[i] {
+			t.Errorf("variant %d = %s, want %s", i, v.Name(), want[i])
+		}
+	}
+}
+
+func TestForwardMovesSelection(t *testing.T) {
+	for _, name := range []string{"pma.jo.sd", "s510.jc.sd", "scf.jo.sd"} {
+		if ForwardMoves(name) != 1 {
+			t.Errorf("%s should carry one forward move", name)
+		}
+	}
+	if ForwardMoves("dk16.ji.sd") != 0 {
+		t.Error("dk16.ji.sd should carry no forward moves")
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"dk16", "scf", "121", "27"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table I output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestRunVariantEndToEnd runs the smallest variant through the whole
+// pipeline with a tiny ATPG budget and checks the paper-shape
+// invariants that must hold regardless of budget: more flip-flops after
+// retiming, no Theorem 4 violations, and coherent table rendering.
+func TestRunVariantEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full variant run")
+	}
+	opt := atpg.DefaultOptions()
+	opt.RandomCount = 16
+	opt.RandomLength = 64
+	opt.MaxEvalsPerFault = 100_000
+	opt.MaxEvalsTotal = 10_000_000
+	run, err := RunVariant(TableIIVariants()[0], opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Pair.Retimed.DFFs) <= len(run.Pair.Original.DFFs) {
+		t.Errorf("retiming did not grow registers: %d -> %d",
+			len(run.Pair.Original.DFFs), len(run.Pair.Retimed.DFFs))
+	}
+	if len(run.Report.Violations) != 0 {
+		t.Errorf("Theorem 4 violations: %d", len(run.Report.Violations))
+	}
+	if run.OrigATPG.FaultCoverage() < 60 {
+		t.Errorf("original coverage %.1f suspiciously low", run.OrigATPG.FaultCoverage())
+	}
+	var sb strings.Builder
+	Table2Header(&sb)
+	Table2Row(&sb, run)
+	Table3Header(&sb)
+	Table3Row(&sb, run)
+	if !strings.Contains(sb.String(), "dk16.ji.sd") {
+		t.Error("rows missing circuit name")
+	}
+}
+
+// TestPrefixOneVariantReportsPrefix checks the pma.jo.sd retiming
+// actually carries a forward stem move, so its Table III row shows the
+// paper's one-vector prefix.
+func TestPrefixOneVariantReportsPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis + retime")
+	}
+	var v Variant
+	for _, cand := range TableIIVariants() {
+		if cand.Name() == "pma.jo.sd" {
+			v = cand
+		}
+	}
+	c, err := v.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, _, _, err := SpeedRetime(c, ForwardMoves(v.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pair.PrefixLengthTests(); got != 1 {
+		t.Fatalf("prefix = %d, want 1", got)
+	}
+}

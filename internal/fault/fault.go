@@ -1,0 +1,195 @@
+// Package fault defines the single stuck-at fault model on gate-level
+// circuits: fault sites (stems and branches), the full fault universe,
+// structural equivalence collapsing, and stable fault naming.
+//
+// A "line" in the paper is a connection between two circuit nodes. Each
+// connection contributes up to two fault sites: the stem site at the
+// driving node's output (shared by all of its fanout branches) and a
+// branch site at the consuming pin. When the driver has a single fanout
+// the two sites are the same physical line and are collapsed.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Site identifies a fault location. Pin == StemPin means the node's
+// output stem; Pin >= 0 means the line feeding input pin Pin of Node.
+type Site struct {
+	Node int
+	Pin  int
+}
+
+// StemPin is the Pin value denoting a node's output stem.
+const StemPin = -1
+
+// IsStem reports whether the site is an output stem.
+func (s Site) IsStem() bool { return s.Pin == StemPin }
+
+// Fault is a single stuck-at fault: a site stuck at a binary value.
+type Fault struct {
+	Site
+	SA logic.V // logic.Zero or logic.One
+}
+
+// Name renders the fault in the paper's line notation, e.g.
+// "G1->G2 s-a-1" for a branch and "G1 s-a-0" for a stem.
+func (f Fault) Name(c *netlist.Circuit) string {
+	sa := 0
+	if f.SA == logic.One {
+		sa = 1
+	}
+	n := &c.Nodes[f.Node]
+	if f.IsStem() {
+		return fmt.Sprintf("%s s-a-%d", n.Name, sa)
+	}
+	drv := c.Nodes[n.Fanin[f.Pin]].Name
+	return fmt.Sprintf("%s->%s s-a-%d", drv, n.Name, sa)
+}
+
+// Less orders faults deterministically (node, pin, stuck value).
+func (f Fault) Less(g Fault) bool {
+	if f.Node != g.Node {
+		return f.Node < g.Node
+	}
+	if f.Pin != g.Pin {
+		return f.Pin < g.Pin
+	}
+	return f.SA < g.SA
+}
+
+// Universe enumerates every stuck-at fault in the circuit: both
+// polarities on every stem that drives something (or is observed as an
+// output) and on every input pin of every gate and flip-flop.
+func Universe(c *netlist.Circuit) []Fault {
+	var faults []Fault
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if len(n.Fanout) > 0 || c.IsOutput(id) {
+			faults = append(faults,
+				Fault{Site{id, StemPin}, logic.Zero},
+				Fault{Site{id, StemPin}, logic.One})
+		}
+		for pin := range n.Fanin {
+			faults = append(faults,
+				Fault{Site{id, pin}, logic.Zero},
+				Fault{Site{id, pin}, logic.One})
+		}
+	}
+	return faults
+}
+
+// Collapse partitions the fault universe into structural equivalence
+// classes and returns one representative per class together with the
+// full representative map. The rules are the classical ones:
+//
+//   - a branch whose driver has a single fanout is the driver's stem;
+//   - BUF: input s-a-v == output s-a-v; NOT: input s-a-v == output s-a-!v;
+//   - AND: any input s-a-0 == output s-a-0 (NAND: == output s-a-1);
+//   - OR: any input s-a-1 == output s-a-1 (NOR: == output s-a-0).
+//
+// No collapsing is performed across flip-flops: with unknown initial
+// state a fault on a DFF input is observably different from the fault on
+// its output during the first cycle, which is exactly the distinction
+// the paper's prefix-sequence results hinge on.
+func Collapse(c *netlist.Circuit) (reps []Fault, repOf map[Fault]Fault) {
+	u := Universe(c)
+	uf := newUnionFind(u)
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		for pin, drv := range n.Fanin {
+			if len(c.Nodes[drv].Fanout) == 1 && !c.IsOutput(drv) {
+				// Branch and stem are the same physical line. (If the
+				// driver is also a primary output the stem feeds the
+				// output pad too, so keep them distinct.)
+				uf.union(Fault{Site{id, pin}, logic.Zero}, Fault{Site{drv, StemPin}, logic.Zero})
+				uf.union(Fault{Site{id, pin}, logic.One}, Fault{Site{drv, StemPin}, logic.One})
+			}
+		}
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		stem := Site{id, StemPin}
+		if len(n.Fanout) == 0 && !c.IsOutput(id) {
+			continue
+		}
+		switch n.Op {
+		case logic.OpBuf:
+			uf.union(Fault{Site{id, 0}, logic.Zero}, Fault{stem, logic.Zero})
+			uf.union(Fault{Site{id, 0}, logic.One}, Fault{stem, logic.One})
+		case logic.OpNot:
+			uf.union(Fault{Site{id, 0}, logic.Zero}, Fault{stem, logic.One})
+			uf.union(Fault{Site{id, 0}, logic.One}, Fault{stem, logic.Zero})
+		case logic.OpAnd:
+			for pin := range n.Fanin {
+				uf.union(Fault{Site{id, pin}, logic.Zero}, Fault{stem, logic.Zero})
+			}
+		case logic.OpNand:
+			for pin := range n.Fanin {
+				uf.union(Fault{Site{id, pin}, logic.Zero}, Fault{stem, logic.One})
+			}
+		case logic.OpOr:
+			for pin := range n.Fanin {
+				uf.union(Fault{Site{id, pin}, logic.One}, Fault{stem, logic.One})
+			}
+		case logic.OpNor:
+			for pin := range n.Fanin {
+				uf.union(Fault{Site{id, pin}, logic.One}, Fault{stem, logic.Zero})
+			}
+		}
+	}
+	repOf = make(map[Fault]Fault, len(u))
+	classes := make(map[Fault][]Fault)
+	for _, f := range u {
+		r := uf.find(f)
+		classes[r] = append(classes[r], f)
+	}
+	for _, members := range classes {
+		sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+		rep := members[0]
+		for _, m := range members {
+			repOf[m] = rep
+		}
+		reps = append(reps, rep)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Less(reps[j]) })
+	return reps, repOf
+}
+
+// unionFind is a disjoint-set forest over faults.
+type unionFind struct {
+	parent map[Fault]Fault
+}
+
+func newUnionFind(all []Fault) *unionFind {
+	uf := &unionFind{parent: make(map[Fault]Fault, len(all))}
+	for _, f := range all {
+		uf.parent[f] = f
+	}
+	return uf
+}
+
+func (uf *unionFind) find(f Fault) Fault {
+	p, ok := uf.parent[f]
+	if !ok {
+		uf.parent[f] = f
+		return f
+	}
+	if p == f {
+		return f
+	}
+	root := uf.find(p)
+	uf.parent[f] = root
+	return root
+}
+
+func (uf *unionFind) union(a, b Fault) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf.parent[ra] = rb
+	}
+}

@@ -1,0 +1,37 @@
+package fsim
+
+import (
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// CoverageCurve returns the cumulative number of detected faults after
+// each vector of the sequence: curve[t] is the detections achieved by
+// the prefix seq[:t+1]. It is a single fault-parallel run, so it costs
+// the same as Run.
+func CoverageCurve(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) []int {
+	res := Run(c, faults, seq)
+	curve := make([]int, len(seq))
+	for _, t := range res.DetectedAt {
+		curve[t]++
+	}
+	for t := 1; t < len(curve); t++ {
+		curve[t] += curve[t-1]
+	}
+	return curve
+}
+
+// VectorsToReach returns the shortest prefix length of the sequence
+// that detects at least the given number of faults, or -1 if the whole
+// sequence falls short. It is the "test application cost" view of a
+// test set.
+func VectorsToReach(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq, detections int) int {
+	curve := CoverageCurve(c, faults, seq)
+	for t, d := range curve {
+		if d >= detections {
+			return t + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,53 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 3, Outputs: 2, Gates: 25, DFFs: 3, MaxFanin: 3,
+	})
+	reps, _ := fault.Collapse(c)
+	seq := randomSeq(rng, len(c.Inputs), 30)
+	curve := CoverageCurve(c, reps, seq)
+	if len(curve) != len(seq) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+	}
+	// The final point must match Run.
+	if res := Run(c, reps, seq); curve[len(curve)-1] != res.Detected() {
+		t.Fatalf("curve end %d != detections %d", curve[len(curve)-1], res.Detected())
+	}
+}
+
+func TestVectorsToReach(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	c := netlist.Fig5N1()
+	reps, _ := fault.Collapse(c)
+	seq := randomSeq(rng, len(c.Inputs), 40)
+	total := Run(c, reps, seq).Detected()
+	if total == 0 {
+		t.Skip("random sequence detected nothing")
+	}
+	n := VectorsToReach(c, reps, seq, total)
+	if n <= 0 || n > len(seq) {
+		t.Fatalf("VectorsToReach = %d", n)
+	}
+	// The prefix of that length must really reach the target.
+	if got := Run(c, reps, seq[:n]).Detected(); got != total {
+		t.Fatalf("prefix reaches %d, want %d", got, total)
+	}
+	if VectorsToReach(c, reps, seq, total+1) != -1 {
+		t.Fatal("unreachable target should return -1")
+	}
+}

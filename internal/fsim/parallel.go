@@ -1,0 +1,190 @@
+package fsim
+
+import (
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// GroupWidth is the number of faulty machines packed per simulation
+// group; bit 0 of every word pair carries the good machine.
+const GroupWidth = 63
+
+// Result reports the outcome of fault-simulating a test sequence.
+type Result struct {
+	Circuit *netlist.Circuit
+	Faults  []fault.Fault // the simulated (typically collapsed) fault list
+
+	// DetectedAt maps each detected fault to the first cycle (0-based)
+	// at which a primary output exposed it.
+	DetectedAt map[fault.Fault]int
+}
+
+// Detected returns the number of detected faults.
+func (r *Result) Detected() int { return len(r.DetectedAt) }
+
+// Undetected returns the faults the sequence did not detect, in fault
+// order.
+func (r *Result) Undetected() []fault.Fault {
+	var out []fault.Fault
+	for _, f := range r.Faults {
+		if _, ok := r.DetectedAt[f]; !ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Coverage returns detected / total as a percentage.
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 100
+	}
+	return 100 * float64(len(r.DetectedAt)) / float64(len(r.Faults))
+}
+
+// Run fault-simulates the test sequence over the fault list from the
+// all-X initial state using the fault-parallel engine.
+func Run(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
+	res := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
+	eng := newEngine(c)
+	for start := 0; start < len(faults); start += GroupWidth {
+		end := start + GroupWidth
+		if end > len(faults) {
+			end = len(faults)
+		}
+		eng.runGroup(faults[start:end], seq, res)
+	}
+	return res
+}
+
+// engine holds the per-circuit scratch state for group simulation.
+type engine struct {
+	c     *netlist.Circuit
+	order []int
+	val   []logic.W
+	state []logic.W
+
+	// Per-group injection tables, rebuilt by runGroup. force1/force0 are
+	// OR-masks of bits to force at each site.
+	stem1, stem0 []uint64            // indexed by node
+	branch       map[fault.Site]pair // branch sites only
+	hasBranch    []bool              // node has at least one branch injection
+}
+
+type pair struct{ ones, zeros uint64 }
+
+func newEngine(c *netlist.Circuit) *engine {
+	order, err := c.Levelize()
+	if err != nil {
+		panic(err)
+	}
+	return &engine{
+		c:     c,
+		order: order,
+		val:   make([]logic.W, len(c.Nodes)),
+		state: make([]logic.W, len(c.DFFs)),
+		stem1: make([]uint64, len(c.Nodes)),
+		stem0: make([]uint64, len(c.Nodes)),
+	}
+}
+
+// force applies the injection masks to a word.
+func force(w logic.W, ones, zeros uint64) logic.W {
+	w.Ones = w.Ones&^zeros | ones
+	w.Zeros = w.Zeros&^ones | zeros
+	return w
+}
+
+func (e *engine) runGroup(group []fault.Fault, seq sim.Seq, res *Result) {
+	c := e.c
+	for i := range e.stem1 {
+		e.stem1[i], e.stem0[i] = 0, 0
+	}
+	e.branch = make(map[fault.Site]pair)
+	e.hasBranch = make([]bool, len(c.Nodes))
+	for k, f := range group {
+		bit := uint64(1) << uint(k+1) // bit 0 is the good machine
+		if f.IsStem() {
+			if f.SA == logic.One {
+				e.stem1[f.Node] |= bit
+			} else {
+				e.stem0[f.Node] |= bit
+			}
+			continue
+		}
+		p := e.branch[f.Site]
+		if f.SA == logic.One {
+			p.ones |= bit
+		} else {
+			p.zeros |= bit
+		}
+		e.branch[f.Site] = p
+		e.hasBranch[f.Node] = true
+	}
+
+	for i := range e.state {
+		e.state[i] = logic.W{} // all X
+	}
+	remaining := len(group)
+	var buf []logic.W
+	for t, in := range seq {
+		if remaining == 0 {
+			break
+		}
+		for i, id := range c.Inputs {
+			e.val[id] = force(logic.WAll(in[i]), e.stem1[id], e.stem0[id])
+		}
+		for i, id := range c.DFFs {
+			e.val[id] = force(e.state[i], e.stem1[id], e.stem0[id])
+		}
+		for _, id := range e.order {
+			n := &c.Nodes[id]
+			buf = buf[:0]
+			for pin, f := range n.Fanin {
+				w := e.val[f]
+				if e.hasBranch[id] {
+					if p, ok := e.branch[fault.Site{Node: id, Pin: pin}]; ok {
+						w = force(w, p.ones, p.zeros)
+					}
+				}
+				buf = append(buf, w)
+			}
+			e.val[id] = force(logic.EvalW(n.Op, buf), e.stem1[id], e.stem0[id])
+		}
+		// Detection: compare every faulty bit against the good bit 0.
+		for _, id := range c.Outputs {
+			w := e.val[id]
+			var diff uint64
+			switch w.Get(0) {
+			case logic.One:
+				diff = w.Zeros
+			case logic.Zero:
+				diff = w.Ones
+			default:
+				continue
+			}
+			diff &^= 1 // never the good machine itself
+			for diff != 0 {
+				bit := diff & -diff
+				diff &^= bit
+				k := bits.TrailingZeros64(bit) - 1
+				f := group[k]
+				if _, seen := res.DetectedAt[f]; !seen {
+					res.DetectedAt[f] = t
+					remaining--
+				}
+			}
+		}
+		for i, id := range c.DFFs {
+			w := e.val[c.Nodes[id].Fanin[0]]
+			if p, ok := e.branch[fault.Site{Node: id, Pin: 0}]; ok {
+				w = force(w, p.ones, p.zeros)
+			}
+			e.state[i] = w
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package fsmgen
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Encoding selects a state-assignment heuristic. The three stand in for
+// the jedi encoder modes the paper's circuit names record in their .j
+// field (input dominant, output dominant, combined).
+type Encoding uint8
+
+// The encoders.
+const (
+	// EncInput (".ji") orders states by breadth-first distance from the
+	// reset state over the transition graph, so states that follow each
+	// other get nearby codes.
+	EncInput Encoding = iota
+	// EncOutput (".jo") clusters states with identical output behaviour
+	// onto adjacent codes.
+	EncOutput
+	// EncCombined (".jc") applies a seeded pseudo-random permutation, a
+	// deterministic blend of the two orderings.
+	EncCombined
+)
+
+// String returns the circuit-name field used by the paper (ji/jo/jc).
+func (e Encoding) String() string {
+	switch e {
+	case EncInput:
+		return "ji"
+	case EncOutput:
+		return "jo"
+	case EncCombined:
+		return "jc"
+	}
+	return "j?"
+}
+
+// ParseEncoding parses ji/jo/jc.
+func ParseEncoding(s string) (Encoding, bool) {
+	switch s {
+	case "ji":
+		return EncInput, true
+	case "jo":
+		return EncOutput, true
+	case "jc":
+		return EncCombined, true
+	}
+	return 0, false
+}
+
+// CodeBits returns the state-code width for n states.
+func CodeBits(n int) int {
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// EncodeStates assigns each state a binary code of CodeBits width.
+func EncodeStates(f *FSM, enc Encoding) map[string]uint64 {
+	order := make([]string, len(f.States))
+	copy(order, f.States)
+	switch enc {
+	case EncInput:
+		order = bfsOrder(f)
+	case EncOutput:
+		order = outputOrder(f)
+	case EncCombined:
+		rng := rand.New(rand.NewSource(seedFromName(f.Name)))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	codes := make(map[string]uint64, len(order))
+	for i, s := range order {
+		codes[s] = uint64(i)
+	}
+	return codes
+}
+
+func bfsOrder(f *FSM) []string {
+	adj := make(map[string][]string)
+	for _, tr := range f.Trans {
+		adj[tr.From] = append(adj[tr.From], tr.To)
+	}
+	start := f.Reset
+	if start == "" && len(f.States) > 0 {
+		start = f.States[0]
+	}
+	seen := map[string]bool{start: true}
+	order := []string{start}
+	for i := 0; i < len(order); i++ {
+		for _, to := range adj[order[i]] {
+			if !seen[to] {
+				seen[to] = true
+				order = append(order, to)
+			}
+		}
+	}
+	// Unreachable states (if any) keep declaration order at the end.
+	for _, s := range f.States {
+		if !seen[s] {
+			order = append(order, s)
+		}
+	}
+	return order
+}
+
+func outputOrder(f *FSM) []string {
+	type keyed struct{ key, state string }
+	sig := make([]keyed, 0, len(f.States))
+	bySig := f.OutputClasses()
+	var keys []string
+	for k := range bySig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		states := bySig[k]
+		sort.Slice(states, func(i, j int) bool {
+			return declIndex(f, states[i]) < declIndex(f, states[j])
+		})
+		for _, s := range states {
+			sig = append(sig, keyed{k, s})
+		}
+	}
+	order := make([]string, len(sig))
+	for i, k := range sig {
+		order[i] = k.state
+	}
+	return order
+}
+
+func declIndex(f *FSM, s string) int { return f.StateIndex(s) }
+
+func seedFromName(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, r := range name {
+		h ^= int64(r)
+		h *= 1099511628211
+	}
+	return h
+}

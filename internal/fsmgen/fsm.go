@@ -1,0 +1,283 @@
+// Package fsmgen provides the finite-state-machine substrate of the
+// experiments: a KISS2 reader/writer, a deterministic generator that
+// reproduces the characteristics of the paper's MCNC benchmark FSMs
+// (Table I), three state-encoding heuristics standing in for the jedi
+// encoder's input-dominant/output-dominant/combined modes, and a small
+// synthesis pipeline with two netlist styles standing in for the SIS
+// script.delay and script.rugged flows.
+//
+// The actual MCNC benchmark files are not redistributable here; the
+// generator produces completely specified, strongly connected machines
+// with exactly the paper's input/output/state counts, which is what the
+// experiments are sensitive to. A genuine KISS2 file can be used
+// instead through ParseKISS2.
+package fsmgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Trans is one KISS2 transition: an input cube over {0,1,-}, a source
+// and destination state, and an output cube over {0,1,-} (dashes read
+// as 0 during synthesis).
+type Trans struct {
+	In   string
+	From string
+	To   string
+	Out  string
+}
+
+// FSM is a Mealy machine in KISS2 terms.
+type FSM struct {
+	Name       string
+	NumInputs  int
+	NumOutputs int
+	States     []string
+	Reset      string // reset state name, "" if unspecified
+	Trans      []Trans
+}
+
+// StateIndex returns the position of the named state, or -1.
+func (f *FSM) StateIndex(name string) int {
+	for i, s := range f.States {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural consistency: cube widths, known states,
+// determinism (no two cubes of one state overlap) and complete
+// specification when complete is true.
+func (f *FSM) Validate(complete bool) error {
+	if f.NumInputs < 0 || f.NumOutputs < 0 {
+		return fmt.Errorf("fsmgen: %s: negative widths", f.Name)
+	}
+	idx := make(map[string]bool, len(f.States))
+	for _, s := range f.States {
+		if idx[s] {
+			return fmt.Errorf("fsmgen: %s: duplicate state %q", f.Name, s)
+		}
+		idx[s] = true
+	}
+	if f.Reset != "" && !idx[f.Reset] {
+		return fmt.Errorf("fsmgen: %s: unknown reset state %q", f.Name, f.Reset)
+	}
+	perState := make(map[string][]string)
+	for _, tr := range f.Trans {
+		if len(tr.In) != f.NumInputs {
+			return fmt.Errorf("fsmgen: %s: input cube %q has width %d, want %d", f.Name, tr.In, len(tr.In), f.NumInputs)
+		}
+		if len(tr.Out) != f.NumOutputs {
+			return fmt.Errorf("fsmgen: %s: output cube %q has width %d, want %d", f.Name, tr.Out, len(tr.Out), f.NumOutputs)
+		}
+		if !idx[tr.From] || !idx[tr.To] {
+			return fmt.Errorf("fsmgen: %s: transition references unknown state (%q -> %q)", f.Name, tr.From, tr.To)
+		}
+		for _, r := range tr.In + tr.Out {
+			if r != '0' && r != '1' && r != '-' {
+				return fmt.Errorf("fsmgen: %s: bad cube character %q", f.Name, r)
+			}
+		}
+		for _, prev := range perState[tr.From] {
+			if cubesOverlap(prev, tr.In) {
+				return fmt.Errorf("fsmgen: %s: state %q has overlapping cubes %q and %q", f.Name, tr.From, prev, tr.In)
+			}
+		}
+		perState[tr.From] = append(perState[tr.From], tr.In)
+	}
+	if complete {
+		for _, s := range f.States {
+			count := 0.0
+			for _, cube := range perState[s] {
+				count += cubeFraction(cube)
+			}
+			if count < 1.0-1e-9 {
+				return fmt.Errorf("fsmgen: %s: state %q covers only %.3f of the input space", f.Name, s, count)
+			}
+		}
+	}
+	return nil
+}
+
+func cubesOverlap(a, b string) bool {
+	for i := range a {
+		if a[i] != '-' && b[i] != '-' && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cubeFraction(cube string) float64 {
+	frac := 1.0
+	for _, r := range cube {
+		if r != '-' {
+			frac /= 2
+		}
+	}
+	return frac
+}
+
+// ParseKISS2 reads a KISS2 FSM description.
+func ParseKISS2(name string, r io.Reader) (*FSM, error) {
+	f := &FSM{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	states := make(map[string]bool)
+	addState := func(s string) {
+		if !states[s] {
+			states[s] = true
+			f.States = append(f.States, s)
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if strings.HasPrefix(line, ".") {
+			if err := parseKissDirective(f, fields, addState); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: transition needs 4 fields, got %d", name, lineNo, len(fields))
+		}
+		addState(fields[1])
+		addState(fields[2])
+		f.Trans = append(f.Trans, Trans{In: fields[0], From: fields[1], To: fields[2], Out: fields[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(false); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func parseKissDirective(f *FSM, fields []string, addState func(string)) error {
+	num := func() (int, error) {
+		if len(fields) != 2 {
+			return 0, fmt.Errorf("directive %s needs one argument", fields[0])
+		}
+		return strconv.Atoi(fields[1])
+	}
+	switch fields[0] {
+	case ".i":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		f.NumInputs = n
+	case ".o":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		f.NumOutputs = n
+	case ".p", ".s":
+		// product/state counts are advisory; ignore the value
+		if _, err := num(); err != nil {
+			return err
+		}
+	case ".r":
+		if len(fields) != 2 {
+			return fmt.Errorf(".r needs one argument")
+		}
+		f.Reset = fields[1]
+		addState(fields[1])
+	case ".e":
+		// end marker
+	default:
+		return fmt.Errorf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+// ParseKISS2String is ParseKISS2 over a string.
+func ParseKISS2String(name, src string) (*FSM, error) {
+	return ParseKISS2(name, strings.NewReader(src))
+}
+
+// WriteKISS2 renders the FSM in KISS2 format.
+func WriteKISS2(w io.Writer, f *FSM) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n.p %d\n.s %d\n", f.NumInputs, f.NumOutputs, len(f.Trans), len(f.States))
+	if f.Reset != "" {
+		fmt.Fprintf(bw, ".r %s\n", f.Reset)
+	}
+	for _, tr := range f.Trans {
+		fmt.Fprintf(bw, "%s %s %s %s\n", tr.In, tr.From, tr.To, tr.Out)
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}
+
+// KISS2String returns the FSM rendered as KISS2 text.
+func KISS2String(f *FSM) string {
+	var sb strings.Builder
+	if err := WriteKISS2(&sb, f); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+// Step executes one transition functionally: it finds the cube of the
+// current state matching the binary input assignment and returns the
+// next state and the output bits (dashes in the output cube read as 0).
+// ok is false when no cube matches (incompletely specified machine).
+func (f *FSM) Step(state, inputs string) (next, out string, ok bool) {
+	for _, tr := range f.Trans {
+		if tr.From != state {
+			continue
+		}
+		match := true
+		for i := 0; i < len(tr.In); i++ {
+			if tr.In[i] != '-' && tr.In[i] != inputs[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		ob := []byte(tr.Out)
+		for i, c := range ob {
+			if c == '-' {
+				ob[i] = '0'
+			}
+		}
+		return tr.To, string(ob), true
+	}
+	return "", "", false
+}
+
+// OutputClasses groups states by the multiset of output cubes they can
+// produce; the output-dominant encoder clusters these together.
+func (f *FSM) OutputClasses() map[string][]string {
+	sig := make(map[string][]string)
+	for _, s := range f.States {
+		var outs []string
+		for _, tr := range f.Trans {
+			if tr.From == s {
+				outs = append(outs, tr.Out)
+			}
+		}
+		sort.Strings(outs)
+		key := strings.Join(outs, "|")
+		sig[key] = append(sig[key], s)
+	}
+	return sig
+}

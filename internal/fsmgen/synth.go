@@ -1,0 +1,242 @@
+package fsmgen
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Script selects the netlist style, standing in for the paper's SIS
+// synthesis scripts: script.delay builds balanced gate trees (minimum
+// depth), script.rugged builds literal-saving cascades (deeper logic).
+type Script uint8
+
+// The synthesis scripts.
+const (
+	ScriptDelay  Script = iota // ".sd"
+	ScriptRugged               // ".sr"
+)
+
+// String returns the circuit-name field used by the paper (sd/sr).
+func (s Script) String() string {
+	if s == ScriptRugged {
+		return "sr"
+	}
+	return "sd"
+}
+
+// ParseScript parses sd/sr.
+func ParseScript(s string) (Script, bool) {
+	switch s {
+	case "sd":
+		return ScriptDelay, true
+	case "sr":
+		return ScriptRugged, true
+	}
+	return 0, false
+}
+
+// SynthOptions selects the synthesis knobs. Reset adds an explicit
+// synchronous reset input (named "rst") that forces the FSM's reset
+// state code, matching the paper's dk16/pma/s510/scf versions.
+type SynthOptions struct {
+	Encoding Encoding
+	Script   Script
+	Reset    bool
+}
+
+// VariantName returns the paper-style circuit name, e.g. "s510.jc.sd".
+func VariantName(fsm string, opt SynthOptions) string {
+	return fmt.Sprintf("%s.%s.%s", fsm, opt.Encoding, opt.Script)
+}
+
+// Synthesize compiles the FSM to a gate-level sequential circuit:
+// one-hot cube terms over a shared state decoder, OR planes for the
+// next-state bits and outputs, and D flip-flops for the state register.
+func Synthesize(f *FSM, opt SynthOptions) (*netlist.Circuit, error) {
+	if err := f.Validate(false); err != nil {
+		return nil, err
+	}
+	if opt.Reset && f.Reset == "" {
+		return nil, fmt.Errorf("fsmgen: %s: reset line requested but FSM has no reset state", f.Name)
+	}
+	codes := EncodeStates(f, opt.Encoding)
+	bits := CodeBits(len(f.States))
+
+	sy := &synth{b: netlist.NewBuilder(VariantName(f.Name, opt)), script: opt.Script}
+	if opt.Reset {
+		sy.b.Input("rst")
+	}
+	for i := 0; i < f.NumInputs; i++ {
+		sy.b.Input(fmt.Sprintf("x%d", i))
+	}
+	// State register bits and their complements.
+	for j := 0; j < bits; j++ {
+		sy.b.DFF(fmt.Sprintf("s%d", j), fmt.Sprintf("ns%d", j))
+	}
+
+	// Shared state decoders.
+	decode := make(map[string]string, len(f.States))
+	for _, s := range f.States {
+		lits := make([]string, bits)
+		for j := 0; j < bits; j++ {
+			if codes[s]>>uint(j)&1 != 0 {
+				lits[j] = fmt.Sprintf("s%d", j)
+			} else {
+				lits[j] = sy.invert(fmt.Sprintf("s%d", j))
+			}
+		}
+		decode[s] = sy.reduce(logic.OpAnd, lits, "dec_"+s)
+	}
+
+	// One term per transition cube.
+	nsTerms := make([][]string, bits)
+	outTerms := make([][]string, f.NumOutputs)
+	for ti, tr := range f.Trans {
+		lits := []string{decode[tr.From]}
+		for i := 0; i < f.NumInputs; i++ {
+			switch tr.In[i] {
+			case '1':
+				lits = append(lits, fmt.Sprintf("x%d", i))
+			case '0':
+				lits = append(lits, sy.invert(fmt.Sprintf("x%d", i)))
+			}
+		}
+		term := sy.reduce(logic.OpAnd, lits, fmt.Sprintf("t%d", ti))
+		for j := 0; j < bits; j++ {
+			if codes[tr.To]>>uint(j)&1 != 0 {
+				nsTerms[j] = append(nsTerms[j], term)
+			}
+		}
+		for k := 0; k < f.NumOutputs; k++ {
+			if tr.Out[k] == '1' {
+				outTerms[k] = append(outTerms[k], term)
+			}
+		}
+	}
+
+	// Next-state plane, with the optional synchronous reset mux.
+	resetCode := uint64(0)
+	if opt.Reset {
+		resetCode = codes[f.Reset]
+	}
+	for j := 0; j < bits; j++ {
+		ns := sy.reduce(logic.OpOr, nsTerms[j], fmt.Sprintf("nsp%d", j))
+		if opt.Reset {
+			if resetCode>>uint(j)&1 != 0 {
+				sy.b.Gate(fmt.Sprintf("ns%d", j), logic.OpOr, "rst", ns)
+			} else {
+				sy.b.Gate(fmt.Sprintf("ns%d", j), logic.OpAnd, sy.invert("rst"), ns)
+			}
+		} else {
+			sy.b.Gate(fmt.Sprintf("ns%d", j), logic.OpBuf, ns)
+		}
+	}
+
+	// Output plane: a BUF per output gives each primary output an
+	// explicit line, so output-pad faults exist as in the paper.
+	for k := 0; k < f.NumOutputs; k++ {
+		sum := sy.reduce(logic.OpOr, outTerms[k], fmt.Sprintf("op%d", k))
+		name := fmt.Sprintf("z%d", k)
+		sy.b.Gate(name, logic.OpBuf, sum)
+		sy.b.Output(name)
+	}
+	return sy.b.Build()
+}
+
+// synth holds shared builder state for Synthesize.
+type synth struct {
+	b      *netlist.Builder
+	script Script
+	invs   map[string]string
+	consts map[logic.Op]string
+	strash map[string]string // structural hashing of 2-input gates
+	ctr    int
+}
+
+// gate2 creates (or reuses, via structural hashing) a 2-input gate.
+// AND/OR are commutative, so operand order is canonicalized in the key;
+// shared decoder and term logic collapses substantially.
+func (sy *synth) gate2(op logic.Op, a, b, prefix string) string {
+	if sy.strash == nil {
+		sy.strash = make(map[string]string)
+	}
+	ka, kb := a, b
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	key := op.String() + "\x00" + ka + "\x00" + kb
+	if sig, ok := sy.strash[key]; ok {
+		return sig
+	}
+	name := fmt.Sprintf("%s_g%d", prefix, sy.ctr)
+	sy.ctr++
+	sy.b.Gate(name, op, a, b)
+	sy.strash[key] = name
+	return name
+}
+
+// invert returns (creating on demand) the complement signal of sig.
+func (sy *synth) invert(sig string) string {
+	if sy.invs == nil {
+		sy.invs = make(map[string]string)
+	}
+	if inv, ok := sy.invs[sig]; ok {
+		return inv
+	}
+	inv := sig + "_n"
+	sy.b.Gate(inv, logic.OpNot, sig)
+	sy.invs[sig] = inv
+	return inv
+}
+
+// constant returns (creating on demand) a constant driver.
+func (sy *synth) constant(op logic.Op) string {
+	if sy.consts == nil {
+		sy.consts = make(map[logic.Op]string)
+	}
+	if c, ok := sy.consts[op]; ok {
+		return c
+	}
+	name := "const0"
+	if op == logic.OpConst1 {
+		name = "const1"
+	}
+	sy.b.Gate(name, op)
+	sy.consts[op] = name
+	return name
+}
+
+// reduce combines the signals with 2-input gates of the given kind:
+// balanced trees for script.delay, cascades for script.rugged.
+func (sy *synth) reduce(op logic.Op, sigs []string, prefix string) string {
+	switch len(sigs) {
+	case 0:
+		if op == logic.OpAnd {
+			return sy.constant(logic.OpConst1)
+		}
+		return sy.constant(logic.OpConst0)
+	case 1:
+		return sigs[0]
+	}
+	if sy.script == ScriptRugged {
+		acc := sigs[0]
+		for i := 1; i < len(sigs); i++ {
+			acc = sy.gate2(op, acc, sigs[i], prefix)
+		}
+		return acc
+	}
+	level := append([]string(nil), sigs...)
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, sy.gate2(op, level[i], level[i+1], prefix))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}

@@ -1,0 +1,79 @@
+package logic
+
+import "fmt"
+
+// C is a composite good/faulty value: the value a line carries in the
+// fault-free circuit paired with the value it carries in the faulty
+// circuit. The classical 5-valued D-calculus embeds into C:
+//
+//	0  = C{Zero, Zero}
+//	1  = C{One, One}
+//	D  = C{One, Zero}   (good 1 / faulty 0)
+//	D' = C{Zero, One}   (good 0 / faulty 1)
+//	X  = C{X, X}
+//
+// Keeping the two rails as independent ternary values (nine combinations
+// in total) avoids the information loss of collapsing partially known
+// values to X, which matters when the test generator reasons about
+// machines with unknown initial state.
+type C struct {
+	Good, Faulty V
+}
+
+// Common composite constants.
+var (
+	C0 = C{Zero, Zero}
+	C1 = C{One, One}
+	CX = C{X, X}
+	CD = C{One, Zero} // D: good 1, faulty 0
+	CB = C{Zero, One} // D-bar: good 0, faulty 1
+)
+
+// String renders the value in D-calculus notation where possible.
+func (c C) String() string {
+	switch c {
+	case C0:
+		return "0"
+	case C1:
+		return "1"
+	case CX:
+		return "x"
+	case CD:
+		return "D"
+	case CB:
+		return "D'"
+	}
+	return fmt.Sprintf("%s/%s", c.Good, c.Faulty)
+}
+
+// Known reports whether both rails are binary.
+func (c C) Known() bool { return c.Good.Known() && c.Faulty.Known() }
+
+// IsError reports whether the value is a definite fault effect
+// (both rails known and different, i.e. D or D').
+func (c C) IsError() bool {
+	return c.Good.Known() && c.Faulty.Known() && c.Good != c.Faulty
+}
+
+// MaybeError reports whether the value could still become a fault effect
+// under some refinement of the unknowns.
+func (c C) MaybeError() bool {
+	if c.Good.Known() && c.Faulty.Known() {
+		return c.Good != c.Faulty
+	}
+	return true
+}
+
+// CFromV lifts a ternary value to a composite value equal on both rails.
+func CFromV(v V) C { return C{v, v} }
+
+// EvalC evaluates the operation rail-wise over composite inputs.
+func EvalC(op Op, ins []C) C {
+	good := make([]V, len(ins))
+	faulty := make([]V, len(ins))
+	for i, c := range ins {
+		good[i] = c.Good
+		faulty[i] = c.Faulty
+	}
+	return C{Eval(op, good), Eval(op, faulty)}
+}

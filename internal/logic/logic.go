@@ -1,0 +1,273 @@
+// Package logic provides the multi-valued logic algebras used throughout
+// the library: the ternary algebra {0, 1, X} used for simulation with
+// unknown initial state, a 64-pattern-parallel two-rail encoding of the
+// same algebra, and the composite good/faulty algebra (equivalent to the
+// classical 5-valued D-calculus) used by the test generator.
+//
+// The ternary algebra follows the convention of 3-valued event simulators:
+// X means "unknown, could be either 0 or 1". All operators are monotone
+// with respect to the information order (X below both 0 and 1), so a
+// ternary simulation is a sound abstraction of every binary simulation it
+// covers. This property is relied on by the structural-based
+// synchronizing sequence machinery and is checked by property tests.
+package logic
+
+import "fmt"
+
+// V is a ternary logic value.
+type V uint8
+
+// The three logic values. The zero value of V is Zero so that freshly
+// allocated value slices start at logic 0; simulators that model unknown
+// initial state must explicitly fill with X.
+const (
+	Zero V = iota // logic 0
+	One           // logic 1
+	X             // unknown
+)
+
+// String returns "0", "1" or "x".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "x"
+	}
+	return fmt.Sprintf("V(%d)", uint8(v))
+}
+
+// Known reports whether v is a binary (non-X) value.
+func (v V) Known() bool { return v == Zero || v == One }
+
+// FromBool converts a boolean to a ternary value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// FromRune parses '0', '1', 'x' or 'X'. It returns X for any other rune.
+func FromRune(r rune) V {
+	switch r {
+	case '0':
+		return Zero
+	case '1':
+		return One
+	}
+	return X
+}
+
+// Not returns the ternary complement of v.
+func Not(v V) V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// And returns the ternary conjunction of a and b.
+func And(a, b V) V {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the ternary disjunction of a and b.
+func Or(a, b V) V {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the ternary exclusive-or of a and b.
+func Xor(a, b V) V {
+	if !a.Known() || !b.Known() {
+		return X
+	}
+	if a != b {
+		return One
+	}
+	return Zero
+}
+
+// Op identifies a primitive combinational operation. The set matches the
+// primitives of the ISCAS-89 bench format plus constants.
+type Op uint8
+
+// The primitive operations. OpBuf with zero inputs is not legal; use
+// OpConst0/OpConst1 for constant drivers.
+const (
+	OpBuf Op = iota
+	OpNot
+	OpAnd
+	OpNand
+	OpOr
+	OpNor
+	OpXor
+	OpXnor
+	OpConst0
+	OpConst1
+)
+
+var opNames = [...]string{
+	OpBuf:    "BUF",
+	OpNot:    "NOT",
+	OpAnd:    "AND",
+	OpNand:   "NAND",
+	OpOr:     "OR",
+	OpNor:    "NOR",
+	OpXor:    "XOR",
+	OpXnor:   "XNOR",
+	OpConst0: "CONST0",
+	OpConst1: "CONST1",
+}
+
+// String returns the bench-format keyword for the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// ParseOp parses a bench-format keyword (case-insensitive match is the
+// caller's responsibility; the input must already be upper case).
+func ParseOp(s string) (Op, bool) {
+	for op, name := range opNames {
+		if name == s {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+// Inverting reports whether the operation complements its base function
+// (NOT, NAND, NOR, XNOR).
+func (op Op) Inverting() bool {
+	switch op {
+	case OpNot, OpNand, OpNor, OpXnor:
+		return true
+	}
+	return false
+}
+
+// ControllingValue returns the controlling input value of the operation
+// and whether one exists. A controlling value determines the output
+// regardless of the other inputs (0 for AND/NAND, 1 for OR/NOR).
+func (op Op) ControllingValue() (V, bool) {
+	switch op {
+	case OpAnd, OpNand:
+		return Zero, true
+	case OpOr, OpNor:
+		return One, true
+	}
+	return X, false
+}
+
+// Eval evaluates the operation over the given ternary inputs.
+// Constant operations ignore ins. BUF/NOT use ins[0].
+func Eval(op Op, ins []V) V {
+	switch op {
+	case OpConst0:
+		return Zero
+	case OpConst1:
+		return One
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return Not(ins[0])
+	case OpAnd, OpNand:
+		acc := One
+		for _, v := range ins {
+			acc = And(acc, v)
+			if acc == Zero {
+				break
+			}
+		}
+		if op == OpNand {
+			return Not(acc)
+		}
+		return acc
+	case OpOr, OpNor:
+		acc := Zero
+		for _, v := range ins {
+			acc = Or(acc, v)
+			if acc == One {
+				break
+			}
+		}
+		if op == OpNor {
+			return Not(acc)
+		}
+		return acc
+	case OpXor, OpXnor:
+		acc := Zero
+		for _, v := range ins {
+			acc = Xor(acc, v)
+		}
+		if op == OpXnor {
+			return Not(acc)
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("logic: Eval of unknown op %d", op))
+}
+
+// EvalBool evaluates the operation over binary inputs, avoiding the
+// ternary tables. It is used by the exhaustive binary simulator that
+// extracts state transition graphs.
+func EvalBool(op Op, ins []bool) bool {
+	switch op {
+	case OpConst0:
+		return false
+	case OpConst1:
+		return true
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return !ins[0]
+	case OpAnd, OpNand:
+		acc := true
+		for _, v := range ins {
+			acc = acc && v
+		}
+		if op == OpNand {
+			return !acc
+		}
+		return acc
+	case OpOr, OpNor:
+		acc := false
+		for _, v := range ins {
+			acc = acc || v
+		}
+		if op == OpNor {
+			return !acc
+		}
+		return acc
+	case OpXor, OpXnor:
+		acc := false
+		for _, v := range ins {
+			acc = acc != v
+		}
+		if op == OpXnor {
+			return !acc
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("logic: EvalBool of unknown op %d", op))
+}

@@ -1,0 +1,353 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allV = []V{Zero, One, X}
+
+var allOps = []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+
+func TestVString(t *testing.T) {
+	cases := map[V]string{Zero: "0", One: "1", X: "x"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("V(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := V(7).String(); got != "V(7)" {
+		t.Errorf("invalid value prints %q", got)
+	}
+}
+
+func TestKnown(t *testing.T) {
+	if !Zero.Known() || !One.Known() || X.Known() {
+		t.Fatal("Known misclassifies a value")
+	}
+}
+
+func TestFromBoolFromRune(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool wrong")
+	}
+	if FromRune('0') != Zero || FromRune('1') != One || FromRune('x') != X || FromRune('?') != X {
+		t.Fatal("FromRune wrong")
+	}
+}
+
+func TestNotTruthTable(t *testing.T) {
+	cases := map[V]V{Zero: One, One: Zero, X: X}
+	for in, want := range cases {
+		if got := Not(in); got != want {
+			t.Errorf("Not(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestAndTruthTable(t *testing.T) {
+	want := map[[2]V]V{
+		{Zero, Zero}: Zero, {Zero, One}: Zero, {Zero, X}: Zero,
+		{One, Zero}: Zero, {One, One}: One, {One, X}: X,
+		{X, Zero}: Zero, {X, One}: X, {X, X}: X,
+	}
+	for in, w := range want {
+		if got := And(in[0], in[1]); got != w {
+			t.Errorf("And(%s,%s) = %s, want %s", in[0], in[1], got, w)
+		}
+	}
+}
+
+func TestOrTruthTable(t *testing.T) {
+	want := map[[2]V]V{
+		{Zero, Zero}: Zero, {Zero, One}: One, {Zero, X}: X,
+		{One, Zero}: One, {One, One}: One, {One, X}: One,
+		{X, Zero}: X, {X, One}: One, {X, X}: X,
+	}
+	for in, w := range want {
+		if got := Or(in[0], in[1]); got != w {
+			t.Errorf("Or(%s,%s) = %s, want %s", in[0], in[1], got, w)
+		}
+	}
+}
+
+func TestXorTruthTable(t *testing.T) {
+	want := map[[2]V]V{
+		{Zero, Zero}: Zero, {Zero, One}: One, {Zero, X}: X,
+		{One, Zero}: One, {One, One}: Zero, {One, X}: X,
+		{X, Zero}: X, {X, One}: X, {X, X}: X,
+	}
+	for in, w := range want {
+		if got := Xor(in[0], in[1]); got != w {
+			t.Errorf("Xor(%s,%s) = %s, want %s", in[0], in[1], got, w)
+		}
+	}
+}
+
+func TestOpStringParseRoundTrip(t *testing.T) {
+	for _, op := range allOps {
+		parsed, ok := ParseOp(op.String())
+		if !ok || parsed != op {
+			t.Errorf("ParseOp(%q) = %v,%v", op.String(), parsed, ok)
+		}
+	}
+	if _, ok := ParseOp("FROB"); ok {
+		t.Error("ParseOp accepted garbage")
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	cases := []struct {
+		op Op
+		v  V
+		ok bool
+	}{
+		{OpAnd, Zero, true}, {OpNand, Zero, true},
+		{OpOr, One, true}, {OpNor, One, true},
+		{OpXor, X, false}, {OpNot, X, false}, {OpBuf, X, false},
+	}
+	for _, c := range cases {
+		v, ok := c.op.ControllingValue()
+		if ok != c.ok || (ok && v != c.v) {
+			t.Errorf("%s.ControllingValue() = %s,%v want %s,%v", c.op, v, ok, c.v, c.ok)
+		}
+	}
+}
+
+func TestInverting(t *testing.T) {
+	inv := map[Op]bool{OpNot: true, OpNand: true, OpNor: true, OpXnor: true}
+	for _, op := range allOps {
+		if op.Inverting() != inv[op] {
+			t.Errorf("%s.Inverting() = %v", op, op.Inverting())
+		}
+	}
+}
+
+// refEval is an independent reference: evaluate the op over every binary
+// completion of the ternary inputs; if all completions agree, that value,
+// else X.
+func refEval(op Op, ins []V) V {
+	if op == OpConst0 {
+		return Zero
+	}
+	if op == OpConst1 {
+		return One
+	}
+	n := len(ins)
+	var results []bool
+	var rec func(i int, bin []bool)
+	rec = func(i int, bin []bool) {
+		if i == n {
+			results = append(results, EvalBool(op, bin))
+			return
+		}
+		switch ins[i] {
+		case Zero:
+			rec(i+1, append(bin, false))
+		case One:
+			rec(i+1, append(bin, true))
+		default:
+			rec(i+1, append(bin, false))
+			bin2 := make([]bool, len(bin), len(bin)+1)
+			copy(bin2, bin)
+			rec(i+1, append(bin2, true))
+		}
+	}
+	rec(0, nil)
+	all0, all1 := true, true
+	for _, r := range results {
+		if r {
+			all0 = false
+		} else {
+			all1 = false
+		}
+	}
+	switch {
+	case all0:
+		return Zero
+	case all1:
+		return One
+	}
+	return X
+}
+
+// TestEvalSoundAbstraction exhaustively checks, for every op and every
+// ternary input combination up to 3 inputs, that Eval returns a value at
+// least as precise as possible and never contradicts a binary completion.
+// XOR gates lose precision on X inputs by design (pessimism), so for them
+// we only require soundness, not exactness.
+func TestEvalSoundAbstraction(t *testing.T) {
+	for _, op := range allOps {
+		arity := []int{2, 3}
+		if op == OpBuf || op == OpNot {
+			arity = []int{1}
+		}
+		if op == OpConst0 || op == OpConst1 {
+			arity = []int{0}
+		}
+		for _, n := range arity {
+			ins := make([]V, n)
+			var walk func(i int)
+			walk = func(i int) {
+				if i == n {
+					got := Eval(op, ins)
+					want := refEval(op, ins)
+					// Soundness: if Eval returns a binary value it must
+					// equal the reference.
+					if got.Known() && got != want {
+						t.Fatalf("Eval(%s, %v) = %s but reference %s", op, ins, got, want)
+					}
+					// Exactness for non-XOR ops.
+					if op != OpXor && op != OpXnor && got != want {
+						t.Fatalf("Eval(%s, %v) = %s, reference %s", op, ins, got, want)
+					}
+					return
+				}
+				for _, v := range allV {
+					ins[i] = v
+					walk(i + 1)
+				}
+			}
+			walk(0)
+		}
+	}
+}
+
+func TestEvalWMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		for _, op := range allOps {
+			n := 3
+			if op == OpBuf || op == OpNot {
+				n = 1
+			}
+			ins := make([]V, n)
+			wins := make([]W, n)
+			for bit := uint(0); bit < 64; bit++ {
+				for i := range ins {
+					v := allV[rng.Intn(3)]
+					wins[i] = wins[i].Set(bit, v)
+				}
+			}
+			got := EvalW(op, wins)
+			if !got.Valid() {
+				t.Fatalf("EvalW(%s) produced invalid two-rail word", op)
+			}
+			for bit := uint(0); bit < 64; bit++ {
+				for i := range ins {
+					ins[i] = wins[i].Get(bit)
+				}
+				if want := Eval(op, ins); got.Get(bit) != want {
+					t.Fatalf("EvalW(%s) bit %d = %s, scalar %s (ins %v)", op, bit, got.Get(bit), want, ins)
+				}
+			}
+		}
+	}
+}
+
+func TestWSetGet(t *testing.T) {
+	var w W
+	for bit := uint(0); bit < 64; bit++ {
+		v := allV[bit%3]
+		w = w.Set(bit, v)
+	}
+	for bit := uint(0); bit < 64; bit++ {
+		if got := w.Get(bit); got != allV[bit%3] {
+			t.Fatalf("bit %d = %s", bit, got)
+		}
+	}
+	// Overwriting must clear the previous rail.
+	w = w.Set(5, One)
+	w = w.Set(5, Zero)
+	if !w.Valid() || w.Get(5) != Zero {
+		t.Fatal("Set does not clear previous rail")
+	}
+}
+
+func TestWAll(t *testing.T) {
+	for _, v := range allV {
+		w := WAll(v)
+		if !w.Valid() {
+			t.Fatalf("WAll(%s) invalid", v)
+		}
+		for bit := uint(0); bit < 64; bit += 13 {
+			if w.Get(bit) != v {
+				t.Fatalf("WAll(%s).Get(%d) = %s", v, bit, w.Get(bit))
+			}
+		}
+	}
+}
+
+func TestWOpsPreserveValidity(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint64) bool {
+		a := W{Ones: a0 &^ a1, Zeros: a1 &^ a0}
+		b := W{Ones: b0 &^ b1, Zeros: b1 &^ b0}
+		return AndW(a, b).Valid() && OrW(a, b).Valid() && NotW(a).Valid() && XorW(a, b).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeBasics(t *testing.T) {
+	if !CD.IsError() || !CB.IsError() || C0.IsError() || C1.IsError() || CX.IsError() {
+		t.Fatal("IsError misclassifies")
+	}
+	if C0.MaybeError() || C1.MaybeError() {
+		t.Fatal("binary equal values cannot be errors")
+	}
+	if !CX.MaybeError() || !CD.MaybeError() {
+		t.Fatal("MaybeError misclassifies")
+	}
+	if CD.String() != "D" || CB.String() != "D'" || C0.String() != "0" || C1.String() != "1" || CX.String() != "x" {
+		t.Fatal("composite String wrong")
+	}
+	if (C{One, X}).String() != "1/x" {
+		t.Fatalf("partial composite prints %q", C{One, X}.String())
+	}
+	if CFromV(One) != C1 {
+		t.Fatal("CFromV wrong")
+	}
+}
+
+func TestEvalCRailwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 500; iter++ {
+		op := allOps[rng.Intn(len(allOps))]
+		n := 3
+		if op == OpBuf || op == OpNot {
+			n = 1
+		}
+		ins := make([]C, n)
+		good := make([]V, n)
+		faulty := make([]V, n)
+		for i := range ins {
+			ins[i] = C{allV[rng.Intn(3)], allV[rng.Intn(3)]}
+			good[i] = ins[i].Good
+			faulty[i] = ins[i].Faulty
+		}
+		got := EvalC(op, ins)
+		if got.Good != Eval(op, good) || got.Faulty != Eval(op, faulty) {
+			t.Fatalf("EvalC(%s, %v) = %v", op, ins, got)
+		}
+	}
+}
+
+func TestEvalShortCircuitEquivalence(t *testing.T) {
+	// Eval short-circuits on controlling values; verify against full scan
+	// by randomized vectors of larger arity.
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 1000; iter++ {
+		for _, op := range []Op{OpAnd, OpNand, OpOr, OpNor} {
+			n := 1 + rng.Intn(6)
+			ins := make([]V, n)
+			for i := range ins {
+				ins[i] = allV[rng.Intn(3)]
+			}
+			if got, want := Eval(op, ins), refEval(op, ins); got != want {
+				t.Fatalf("Eval(%s, %v) = %s want %s", op, ins, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package logic
+
+// W is a 64-pattern-parallel ternary word in two-rail encoding. Bit i of
+// Ones is set when pattern i carries logic 1; bit i of Zeros is set when
+// it carries logic 0; when neither bit is set the pattern carries X.
+// A bit position must never be set in both rails; the constructors and
+// operators preserve this invariant.
+//
+// The encoding makes the ternary gate operators pure bitwise expressions,
+// which is what gives the fault simulator its pattern- and
+// fault-parallelism (PROOFS packs one fault machine per bit position).
+type W struct {
+	Ones  uint64
+	Zeros uint64
+}
+
+// WAll returns a word carrying v in every bit position.
+func WAll(v V) W {
+	switch v {
+	case Zero:
+		return W{Zeros: ^uint64(0)}
+	case One:
+		return W{Ones: ^uint64(0)}
+	}
+	return W{}
+}
+
+// Get returns the ternary value at bit position i.
+func (w W) Get(i uint) V {
+	switch {
+	case w.Ones>>i&1 != 0:
+		return One
+	case w.Zeros>>i&1 != 0:
+		return Zero
+	}
+	return X
+}
+
+// Set returns w with bit position i carrying v.
+func (w W) Set(i uint, v V) W {
+	mask := uint64(1) << i
+	w.Ones &^= mask
+	w.Zeros &^= mask
+	switch v {
+	case One:
+		w.Ones |= mask
+	case Zero:
+		w.Zeros |= mask
+	}
+	return w
+}
+
+// Valid reports whether no bit position is set in both rails.
+func (w W) Valid() bool { return w.Ones&w.Zeros == 0 }
+
+// NotW returns the bitwise ternary complement.
+func NotW(a W) W { return W{Ones: a.Zeros, Zeros: a.Ones} }
+
+// AndW returns the bitwise ternary conjunction.
+func AndW(a, b W) W {
+	return W{Ones: a.Ones & b.Ones, Zeros: a.Zeros | b.Zeros}
+}
+
+// OrW returns the bitwise ternary disjunction.
+func OrW(a, b W) W {
+	return W{Ones: a.Ones | b.Ones, Zeros: a.Zeros & b.Zeros}
+}
+
+// XorW returns the bitwise ternary exclusive-or. A position is known only
+// when both operands are known there.
+func XorW(a, b W) W {
+	known := (a.Ones | a.Zeros) & (b.Ones | b.Zeros)
+	ones := (a.Ones & b.Zeros) | (a.Zeros & b.Ones)
+	return W{Ones: ones & known, Zeros: ^ones & known}
+}
+
+// EvalW evaluates the operation over pattern-parallel words.
+func EvalW(op Op, ins []W) W {
+	switch op {
+	case OpConst0:
+		return WAll(Zero)
+	case OpConst1:
+		return WAll(One)
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return NotW(ins[0])
+	case OpAnd, OpNand:
+		acc := WAll(One)
+		for _, w := range ins {
+			acc = AndW(acc, w)
+		}
+		if op == OpNand {
+			return NotW(acc)
+		}
+		return acc
+	case OpOr, OpNor:
+		acc := WAll(Zero)
+		for _, w := range ins {
+			acc = OrW(acc, w)
+		}
+		if op == OpNor {
+			return NotW(acc)
+		}
+		return acc
+	case OpXor, OpXnor:
+		acc := WAll(Zero)
+		for _, w := range ins {
+			acc = XorW(acc, w)
+		}
+		if op == OpXnor {
+			return NotW(acc)
+		}
+		return acc
+	}
+	panic("logic: EvalW of unknown op")
+}

@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FaninCone returns the IDs of all nodes in the transitive fanin of the
+// given node, including the node itself, stopping at (but including)
+// primary inputs and flip-flops when stopAtDFF is set. With stopAtDFF
+// false the cone crosses registers and can reach the whole sequential
+// support.
+func (c *Circuit) FaninCone(id int, stopAtDFF bool) []int {
+	seen := map[int]bool{id: true}
+	stack := []int{id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if stopAtDFF && c.Nodes[n].Kind == KindDFF && n != id {
+			continue
+		}
+		for _, f := range c.Nodes[n].Fanin {
+			if !seen[f] {
+				seen[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SequentialDepth returns the length of the longest register-to-register
+// chain measured in flip-flops, i.e. the maximum number of flip-flops
+// on any acyclic register path. It bounds the number of time frames a
+// value needs to traverse the machine and is a useful default for the
+// test generator's frame limit. Cyclic paths contribute their acyclic
+// prefix only.
+func (c *Circuit) SequentialDepth() int {
+	// Longest path in the DFF dependency DAG (back edges of cycles are
+	// skipped via DFS coloring).
+	adj := make(map[int][]int, len(c.DFFs))
+	for _, d := range c.DFFs {
+		for _, src := range c.FaninCone(c.Nodes[d].Fanin[0], true) {
+			if c.Nodes[src].Kind == KindDFF {
+				adj[d] = append(adj[d], src)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(c.DFFs))
+	depth := make(map[int]int, len(c.DFFs))
+	var dfs func(d int) int
+	dfs = func(d int) int {
+		switch color[d] {
+		case gray:
+			return 0 // cycle back edge
+		case black:
+			return depth[d]
+		}
+		color[d] = gray
+		best := 0
+		for _, p := range adj[d] {
+			if v := dfs(p); v > best {
+				best = v
+			}
+		}
+		color[d] = black
+		depth[d] = best + 1
+		return depth[d]
+	}
+	max := 0
+	for _, d := range c.DFFs {
+		if v := dfs(d); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// WriteDOT renders the circuit in Graphviz dot format: inputs as
+// triangles, flip-flops as boxes, outputs marked with a double border.
+func WriteDOT(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", c.Name)
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		shape, label := "ellipse", n.Name
+		switch n.Kind {
+		case KindInput:
+			shape = "triangle"
+		case KindDFF:
+			shape = "box"
+			label += "\\nDFF"
+		case KindGate:
+			label += "\\n" + n.Op.String()
+		}
+		peripheries := 1
+		if c.IsOutput(id) {
+			peripheries = 2
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q shape=%s peripheries=%d];\n", id, label, shape, peripheries)
+	}
+	for id := range c.Nodes {
+		for _, f := range c.Nodes[id].Fanin {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", f, id)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,78 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaninCone(t *testing.T) {
+	c := Fig5N1()
+	z := c.MustNodeID("Z")
+	cone := c.FaninCone(z, true)
+	want := map[string]bool{"Z": true, "G2": true, "G1": true, "G3": true,
+		"Q1": true, "Q2": true, "Q3": true, "I3": true}
+	if len(cone) != len(want) {
+		t.Fatalf("cone size %d, want %d: %v", len(cone), len(want), cone)
+	}
+	for _, id := range cone {
+		if !want[c.Nodes[id].Name] {
+			t.Fatalf("unexpected cone member %s", c.Nodes[id].Name)
+		}
+	}
+	// Crossing registers reaches the inputs feeding the DFFs.
+	full := c.FaninCone(z, false)
+	names := map[string]bool{}
+	for _, id := range full {
+		names[c.Nodes[id].Name] = true
+	}
+	if !names["I1"] || !names["I2"] {
+		t.Fatalf("register-crossing cone missing inputs: %v", names)
+	}
+}
+
+func TestSequentialDepth(t *testing.T) {
+	// Fig5N1: Q1/Q2 feed Q3's logic: depth 2.
+	if got := Fig5N1().SequentialDepth(); got != 2 {
+		t.Errorf("N1 depth = %d, want 2", got)
+	}
+	// Fig2C1: single self-looping register: depth 1.
+	if got := Fig2C1().SequentialDepth(); got != 1 {
+		t.Errorf("C1 depth = %d, want 1", got)
+	}
+	// A pure pipeline of three registers: depth 3.
+	c, err := ParseBenchString("pipe", `
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(q1)
+q3 = DFF(q2)
+z = BUF(q3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SequentialDepth(); got != 3 {
+		t.Errorf("pipeline depth = %d, want 3", got)
+	}
+	// Combinational circuit: depth 0.
+	comb, err := ParseBenchString("comb", "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comb.SequentialDepth(); got != 0 {
+		t.Errorf("comb depth = %d, want 0", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, Fig2C1()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"digraph", "triangle", "DFF", "peripheries=2", "->"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("dot output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Builder assembles a circuit incrementally by name, so feedback loops
+// through DFFs can be declared in any order: fanins are resolved when
+// Build is called.
+type Builder struct {
+	name    string
+	nodes   []pendingNode
+	outputs []string
+	errs    []error
+}
+
+type pendingNode struct {
+	name  string
+	kind  Kind
+	op    logic.Op
+	fanin []string
+}
+
+// NewBuilder returns a builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) *Builder {
+	b.nodes = append(b.nodes, pendingNode{name: name, kind: KindInput})
+	return b
+}
+
+// Inputs declares several primary inputs in order.
+func (b *Builder) Inputs(names ...string) *Builder {
+	for _, n := range names {
+		b.Input(n)
+	}
+	return b
+}
+
+// Gate declares a combinational gate driven by the named signals.
+func (b *Builder) Gate(name string, op logic.Op, fanin ...string) *Builder {
+	b.nodes = append(b.nodes, pendingNode{name: name, kind: KindGate, op: op, fanin: fanin})
+	return b
+}
+
+// DFF declares a D flip-flop with the named data input.
+func (b *Builder) DFF(name, d string) *Builder {
+	b.nodes = append(b.nodes, pendingNode{name: name, kind: KindDFF, fanin: []string{d}})
+	return b
+}
+
+// Output marks named signals as primary outputs, in order.
+func (b *Builder) Output(names ...string) *Builder {
+	b.outputs = append(b.outputs, names...)
+	return b
+}
+
+// Build resolves names and returns the validated circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := &Circuit{Name: b.name, Nodes: make([]Node, len(b.nodes))}
+	byName := make(map[string]int, len(b.nodes))
+	for id, p := range b.nodes {
+		if _, dup := byName[p.name]; dup {
+			return nil, fmt.Errorf("netlist: duplicate declaration of %q", p.name)
+		}
+		byName[p.name] = id
+		c.Nodes[id] = Node{Name: p.name, Kind: p.kind, Op: p.op}
+		switch p.kind {
+		case KindInput:
+			c.Inputs = append(c.Inputs, id)
+		case KindDFF:
+			c.DFFs = append(c.DFFs, id)
+		}
+	}
+	for id, p := range b.nodes {
+		for _, f := range p.fanin {
+			src, ok := byName[f]
+			if !ok {
+				return nil, fmt.Errorf("netlist: node %q references undeclared signal %q", p.name, f)
+			}
+			c.Nodes[id].Fanin = append(c.Nodes[id].Fanin, src)
+		}
+	}
+	for _, out := range b.outputs {
+		id, ok := byName[out]
+		if !ok {
+			return nil, fmt.Errorf("netlist: output references undeclared signal %q", out)
+		}
+		c.Outputs = append(c.Outputs, id)
+	}
+	if err := c.rebuild(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustBuild is Build that panics on error; for literals in tests and the
+// paper-figure constructors.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// Edge-condition coverage for the circuit model: degenerate but legal
+// structures that the rest of the library must tolerate.
+
+func TestConstantOnlyCircuit(t *testing.T) {
+	c, err := NewBuilder("const").
+		Inputs("a").
+		Gate("one", logic.OpConst1).
+		Gate("z", logic.OpAnd, "a", "one").
+		Output("z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxCombDelay() != 2 {
+		t.Fatalf("delay = %d", c.MaxCombDelay())
+	}
+}
+
+func TestConstArityChecked(t *testing.T) {
+	_, err := NewBuilder("bad").
+		Inputs("a").
+		Gate("one", logic.OpConst1, "a").
+		Output("one").
+		Build()
+	if err == nil {
+		t.Fatal("CONST1 with fanin accepted")
+	}
+}
+
+func TestSelfLoopThroughDFF(t *testing.T) {
+	// q = DFF(q): legal (a degenerate hold register).
+	c, err := ParseBenchString("hold", `
+INPUT(a)
+OUTPUT(z)
+q = DFF(q)
+z = AND(a, q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DFFs) != 1 {
+		t.Fatal("hold register lost")
+	}
+}
+
+func TestSameSignalTwiceToOneGate(t *testing.T) {
+	c, err := ParseBenchString("dup", `
+INPUT(a)
+OUTPUT(z)
+z = XOR(a, a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := c.MustNodeID("z")
+	if len(c.Nodes[z].Fanin) != 2 {
+		t.Fatal("duplicate fanin collapsed")
+	}
+	// a's fanout lists z twice (two pins).
+	a := c.MustNodeID("a")
+	if len(c.Nodes[a].Fanout) != 2 {
+		t.Fatalf("fanout = %v", c.Nodes[a].Fanout)
+	}
+}
+
+func TestOutputIsInput(t *testing.T) {
+	// OUTPUT(a) where a is a primary input: legal feed-through.
+	c, err := ParseBenchString("thru", `
+INPUT(a)
+OUTPUT(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsOutput(c.MustNodeID("a")) {
+		t.Fatal("feed-through output lost")
+	}
+}
+
+func TestDuplicateOutputDeclaration(t *testing.T) {
+	// The same signal observed twice: two output positions.
+	c, err := ParseBenchString("dup2", `
+INPUT(a)
+OUTPUT(z)
+OUTPUT(z)
+z = NOT(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs) != 2 {
+		t.Fatalf("outputs = %d", len(c.Outputs))
+	}
+}
+
+func TestBenchStringStable(t *testing.T) {
+	src := strings.TrimSpace(`
+# toy
+# 1 inputs, 1 outputs, 1 DFFs, 1 gates
+INPUT(a)
+OUTPUT(z)
+q = DFF(z)
+z = NOT(q)
+`) + "\n"
+	c, err := ParseBenchString("toy", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BenchString(c); got != src {
+		t.Fatalf("unstable rendering:\n%q\nvs\n%q", got, src)
+	}
+}

@@ -1,0 +1,193 @@
+package netlist
+
+import "repro/internal/logic"
+
+// This file reconstructs the example circuits of the paper's figures.
+// The DAC text describes the figures' behaviour precisely but does not
+// print complete schematics, so the constructors below are
+// reconstructions that reproduce every claim the paper makes about each
+// figure (checked by tests in internal/stg and internal/core):
+//
+//   - Fig. 1: atomic retiming moves across a single-output gate (K1/K2)
+//     and across a fanout stem (S1/S2), with the stated fault
+//     correspondences.
+//   - Fig. 2: C1 (1 DFF, clock period 4) retimed backward across a
+//     single-output OR gate to C2 (2 DFFs, period 3). C1's STG has no
+//     equivalent states; C2 has the equivalence classes {00} = C1's {0}
+//     and {01,10,11} = C1's {1}. The vector <11> synchronizes C1 to {1}
+//     and C2 to {01,11}.
+//   - Fig. 3: L1 (1 DFF) retimed forward across a fanout stem to L2
+//     (2 DFFs). <11> is a functional-based but not structural-based
+//     synchronizing sequence for L1; it does not synchronize L2; any
+//     one-vector prefix followed by <11> synchronizes L2 to {11}, which
+//     is equivalent to L1's {1}.
+//   - Fig. 5: N1 (3 DFFs) retimed forward across the single-output AND
+//     gate G1 to N2 (2 DFFs). <001,000> structurally synchronizes N1
+//     under the G1->G2 stuck-at-1 fault to {001} but leaves N2 under the
+//     corresponding G1->Q12 stuck-at-1 fault in {1x}.
+
+// Fig1K1 is the left fragment of Fig. 1(a): registers on the gate inputs.
+//
+//	Q0 = DFF(I1), Q1 = DFF(I2), G = AND(Q0, Q1), output O = BUF(G)
+func Fig1K1() *Circuit {
+	return NewBuilder("fig1-K1").
+		Inputs("I1", "I2").
+		DFF("Q0", "I1").
+		DFF("Q1", "I2").
+		Gate("G", logic.OpAnd, "Q0", "Q1").
+		Gate("O", logic.OpBuf, "G").
+		Output("O").
+		MustBuild()
+}
+
+// Fig1K2 is the right fragment of Fig. 1(a): the register moved forward
+// across the gate.
+//
+//	G = AND(I1, I2), Q = DFF(G), output O = BUF(Q)
+func Fig1K2() *Circuit {
+	return NewBuilder("fig1-K2").
+		Inputs("I1", "I2").
+		Gate("G", logic.OpAnd, "I1", "I2").
+		DFF("Q", "G").
+		Gate("O", logic.OpBuf, "Q").
+		Output("O").
+		MustBuild()
+}
+
+// Fig1S1 is the left fragment of Fig. 1(b): a register on a fanout stem.
+//
+//	Q = DFF(I); branches Z1 = BUF(Q), Z2 = NOT(Q)
+func Fig1S1() *Circuit {
+	return NewBuilder("fig1-S1").
+		Inputs("I").
+		DFF("Q", "I").
+		Gate("Z1", logic.OpBuf, "Q").
+		Gate("Z2", logic.OpNot, "Q").
+		Output("Z1", "Z2").
+		MustBuild()
+}
+
+// Fig1S2 is the right fragment of Fig. 1(b): the stem register moved
+// forward onto each branch.
+//
+//	Q0 = DFF(I), Q1 = DFF(I); Z1 = BUF(Q0), Z2 = NOT(Q1)
+func Fig1S2() *Circuit {
+	return NewBuilder("fig1-S2").
+		Inputs("I").
+		DFF("Q0", "I").
+		DFF("Q1", "I").
+		Gate("Z1", logic.OpBuf, "Q0").
+		Gate("Z2", logic.OpNot, "Q1").
+		Output("Z1", "Z2").
+		MustBuild()
+}
+
+// Fig2C1 is the original circuit of Fig. 2. Gate delays equal fanin
+// counts, so the longest combinational path (A -> G1 -> G3 -> Q) is
+// 2+2 = 4 delay units: a clock period of four.
+//
+//	G1 = AND(A, B); G2 = NOT(Q); G3 = OR(G1, G2); Q = DFF(G3); Z = BUF(Q)
+func Fig2C1() *Circuit {
+	return NewBuilder("fig2-C1").
+		Inputs("A", "B").
+		Gate("G1", logic.OpAnd, "A", "B").
+		Gate("G2", logic.OpNot, "Q").
+		Gate("G3", logic.OpOr, "G1", "G2").
+		DFF("Q", "G3").
+		Gate("Z", logic.OpBuf, "Q").
+		Output("Z").
+		MustBuild()
+}
+
+// Fig2C2 is C1 retimed backward across the single-output OR gate G3: the
+// register Q moves from G3's output to both of G3's inputs, giving two
+// DFFs and a clock period of three (Q0/Q1 -> G3 -> G2 is 2+1 = 3).
+// State is written Q0Q1 with Q0 = DFF(G2) and Q1 = DFF(G1).
+func Fig2C2() *Circuit {
+	return NewBuilder("fig2-C2").
+		Inputs("A", "B").
+		Gate("G1", logic.OpAnd, "A", "B").
+		DFF("Q0", "G2").
+		DFF("Q1", "G1").
+		Gate("G3", logic.OpOr, "Q1", "Q0").
+		Gate("G2", logic.OpNot, "G3").
+		Gate("Z", logic.OpBuf, "G3").
+		Output("Z").
+		MustBuild()
+}
+
+// Fig3L1 is the original circuit of Fig. 3. The DFF Q drives a fanout
+// stem with two branches (the AND gate G1 and the inverter G0).
+//
+//	G0 = NOT(Q); G1 = AND(A, Q); G2 = AND(B, G0);
+//	D = OR(G1, G2); Q = DFF(D); Z = BUF(D)
+//
+// Functionally D = A·Q + B·Q', so <11> always drives Q to 1; with
+// 3-valued simulation from Q = x the next state is x, so <11> is
+// functional-based but not structural-based.
+func Fig3L1() *Circuit {
+	return NewBuilder("fig3-L1").
+		Inputs("A", "B").
+		Gate("G0", logic.OpNot, "Q").
+		Gate("G1", logic.OpAnd, "A", "Q").
+		Gate("G2", logic.OpAnd, "B", "G0").
+		Gate("D", logic.OpOr, "G1", "G2").
+		DFF("Q", "D").
+		Gate("Z", logic.OpBuf, "D").
+		Output("Z").
+		MustBuild()
+}
+
+// Fig3L2 is L1 retimed forward across the fanout stem of Q: the stem
+// register is replaced by one register per branch. State is written Q1Q2
+// with Q1 feeding the AND branch and Q2 feeding the inverter branch; the
+// inconsistent states 01 and 10 have no equivalent state in L1.
+func Fig3L2() *Circuit {
+	return NewBuilder("fig3-L2").
+		Inputs("A", "B").
+		DFF("Q1", "D").
+		DFF("Q2", "D").
+		Gate("G0", logic.OpNot, "Q2").
+		Gate("G1", logic.OpAnd, "A", "Q1").
+		Gate("G2", logic.OpAnd, "B", "G0").
+		Gate("D", logic.OpOr, "G1", "G2").
+		Gate("Z", logic.OpBuf, "D").
+		Output("Z").
+		MustBuild()
+}
+
+// Fig5N1 is the original circuit of Fig. 5. State is written Q1Q2Q3.
+//
+//	Q1 = DFF(I1); Q2 = DFF(I2); G1 = AND(Q1, Q2);
+//	G3 = OR(I3, Q3); G2 = AND(G1, G3); Q3 = DFF(G2); Z = BUF(G2)
+//
+// G1 is a single-output gate (it feeds only G2).
+func Fig5N1() *Circuit {
+	return NewBuilder("fig5-N1").
+		Inputs("I1", "I2", "I3").
+		DFF("Q1", "I1").
+		DFF("Q2", "I2").
+		Gate("G1", logic.OpAnd, "Q1", "Q2").
+		Gate("G3", logic.OpOr, "I3", "Q3").
+		Gate("G2", logic.OpAnd, "G1", "G3").
+		DFF("Q3", "G2").
+		Gate("Z", logic.OpBuf, "G2").
+		Output("Z").
+		MustBuild()
+}
+
+// Fig5N2 is N1 with the registers Q1 and Q2 moved forward across the
+// single-output AND gate G1, merging into the single register Q12.
+// State is written Q12Q3.
+func Fig5N2() *Circuit {
+	return NewBuilder("fig5-N2").
+		Inputs("I1", "I2", "I3").
+		Gate("G1", logic.OpAnd, "I1", "I2").
+		DFF("Q12", "G1").
+		Gate("G3", logic.OpOr, "I3", "Q3").
+		Gate("G2", logic.OpAnd, "Q12", "G3").
+		DFF("Q3", "G2").
+		Gate("Z", logic.OpBuf, "G2").
+		Output("Z").
+		MustBuild()
+}

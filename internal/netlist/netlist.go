@@ -1,0 +1,342 @@
+// Package netlist models gate-level synchronous sequential circuits: the
+// combinational-logic-plus-edge-triggered-DFF circuits that the paper's
+// retiming and testability results are stated over.
+//
+// A circuit is a set of named nodes. Each node is a primary input, a
+// combinational gate, or a D flip-flop. Primary outputs are references to
+// nodes (a node may both drive logic and be observed as an output, which
+// matches the ISCAS-89 bench convention). Combinational cycles are
+// illegal; every feedback loop must pass through at least one DFF.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Kind discriminates the three node kinds.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindInput Kind = iota // primary input
+	KindGate              // combinational gate, operation in Node.Op
+	KindDFF               // edge-triggered D flip-flop, one fanin
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindGate:
+		return "gate"
+	case KindDFF:
+		return "dff"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Node is one vertex of the circuit. Fanin holds node IDs in input-pin
+// order; Fanout is derived and kept sorted for determinism.
+type Node struct {
+	Name   string
+	Kind   Kind
+	Op     logic.Op // meaningful only for KindGate
+	Fanin  []int
+	Fanout []int
+}
+
+// Circuit is a synchronous sequential circuit. Node IDs are indices into
+// Nodes and are stable across Clone. Inputs, Outputs and DFFs list node
+// IDs; Outputs may reference any node kind.
+type Circuit struct {
+	Name    string
+	Nodes   []Node
+	Inputs  []int
+	Outputs []int
+	DFFs    []int
+
+	index map[string]int
+}
+
+// NumNodes returns the number of nodes.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NodeID returns the ID of the named node, or -1 if absent.
+func (c *Circuit) NodeID(name string) int {
+	if id, ok := c.index[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// MustNodeID is NodeID that panics on a missing name. It is intended for
+// tests and for code constructing circuits from trusted literals.
+func (c *Circuit) MustNodeID(name string) int {
+	id := c.NodeID(name)
+	if id < 0 {
+		panic(fmt.Sprintf("netlist: no node named %q in circuit %q", name, c.Name))
+	}
+	return id
+}
+
+// rebuild recomputes the name index and fanout lists from Nodes and
+// validates structural invariants. Every constructor funnels through it.
+func (c *Circuit) rebuild() error {
+	c.index = make(map[string]int, len(c.Nodes))
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if n.Name == "" {
+			return fmt.Errorf("netlist: node %d has empty name", id)
+		}
+		if prev, dup := c.index[n.Name]; dup {
+			return fmt.Errorf("netlist: duplicate node name %q (nodes %d and %d)", n.Name, prev, id)
+		}
+		c.index[n.Name] = id
+		n.Fanout = n.Fanout[:0]
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if err := checkArity(n); err != nil {
+			return err
+		}
+		for _, f := range n.Fanin {
+			if f < 0 || f >= len(c.Nodes) {
+				return fmt.Errorf("netlist: node %q has out-of-range fanin %d", n.Name, f)
+			}
+			c.Nodes[f].Fanout = append(c.Nodes[f].Fanout, id)
+		}
+	}
+	for id := range c.Nodes {
+		sort.Ints(c.Nodes[id].Fanout)
+	}
+	for _, out := range c.Outputs {
+		if out < 0 || out >= len(c.Nodes) {
+			return fmt.Errorf("netlist: output id %d out of range", out)
+		}
+	}
+	if _, err := c.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkArity(n *Node) error {
+	switch n.Kind {
+	case KindInput:
+		if len(n.Fanin) != 0 {
+			return fmt.Errorf("netlist: input %q has fanin", n.Name)
+		}
+	case KindDFF:
+		if len(n.Fanin) != 1 {
+			return fmt.Errorf("netlist: dff %q has %d fanins, want 1", n.Name, len(n.Fanin))
+		}
+	case KindGate:
+		want := -1
+		switch n.Op {
+		case logic.OpConst0, logic.OpConst1:
+			want = 0
+		case logic.OpBuf, logic.OpNot:
+			want = 1
+		}
+		if want >= 0 && len(n.Fanin) != want {
+			return fmt.Errorf("netlist: gate %q (%s) has %d fanins, want %d", n.Name, n.Op, len(n.Fanin), want)
+		}
+		if want < 0 && len(n.Fanin) < 1 {
+			return fmt.Errorf("netlist: gate %q (%s) has no fanins", n.Name, n.Op)
+		}
+	default:
+		return fmt.Errorf("netlist: node %q has unknown kind %d", n.Name, n.Kind)
+	}
+	return nil
+}
+
+// Levelize returns the IDs of all combinational gates in topological
+// order, treating primary inputs and DFF outputs as sources. It reports
+// an error if the combinational logic contains a cycle (a feedback loop
+// with no DFF on it).
+func (c *Circuit) Levelize() ([]int, error) {
+	indeg := make([]int, len(c.Nodes))
+	for id := range c.Nodes {
+		if c.Nodes[id].Kind != KindGate {
+			continue
+		}
+		for _, f := range c.Nodes[id].Fanin {
+			if c.Nodes[f].Kind == KindGate {
+				indeg[id]++
+			}
+		}
+	}
+	order := make([]int, 0, len(c.Nodes))
+	queue := make([]int, 0, len(c.Nodes))
+	for id := range c.Nodes {
+		if c.Nodes[id].Kind == KindGate && indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range c.Nodes[id].Fanout {
+			if c.Nodes[s].Kind != KindGate {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	gates := 0
+	for id := range c.Nodes {
+		if c.Nodes[id].Kind == KindGate {
+			gates++
+		}
+	}
+	if len(order) != gates {
+		return nil, fmt.Errorf("netlist: circuit %q has a combinational cycle", c.Name)
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{
+		Name:    c.Name,
+		Nodes:   make([]Node, len(c.Nodes)),
+		Inputs:  append([]int(nil), c.Inputs...),
+		Outputs: append([]int(nil), c.Outputs...),
+		DFFs:    append([]int(nil), c.DFFs...),
+	}
+	for i, n := range c.Nodes {
+		out.Nodes[i] = Node{
+			Name:   n.Name,
+			Kind:   n.Kind,
+			Op:     n.Op,
+			Fanin:  append([]int(nil), n.Fanin...),
+			Fanout: append([]int(nil), n.Fanout...),
+		}
+	}
+	out.index = make(map[string]int, len(c.index))
+	for k, v := range c.index {
+		out.index[k] = v
+	}
+	return out
+}
+
+// Stats summarizes circuit size.
+type Stats struct {
+	Inputs  int
+	Outputs int
+	Gates   int
+	DFFs    int
+	Lines   int // fault sites: one stem per non-output-only node plus branch pins
+}
+
+// Stats returns size counters for the circuit.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		DFFs:    len(c.DFFs),
+	}
+	for _, n := range c.Nodes {
+		if n.Kind == KindGate {
+			s.Gates++
+		}
+		s.Lines++ // stem
+		s.Lines += len(n.Fanin)
+	}
+	return s
+}
+
+// FanoutStems returns the IDs of all nodes whose signal fans out to two
+// or more sinks (counting output observation as a sink only when the
+// node also drives logic). These are the "fanout stem" vertices of the
+// paper's retiming graph model.
+func (c *Circuit) FanoutStems() []int {
+	var stems []int
+	for id := range c.Nodes {
+		if len(c.Nodes[id].Fanout) >= 2 {
+			stems = append(stems, id)
+		}
+	}
+	return stems
+}
+
+// IsOutput reports whether the node is observed as a primary output.
+func (c *Circuit) IsOutput(id int) bool {
+	for _, out := range c.Outputs {
+		if out == id {
+			return true
+		}
+	}
+	return false
+}
+
+// InputIndex returns the position of node id within Inputs, or -1.
+func (c *Circuit) InputIndex(id int) int {
+	for i, in := range c.Inputs {
+		if in == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// DFFIndex returns the position of node id within DFFs, or -1.
+func (c *Circuit) DFFIndex(id int) int {
+	for i, d := range c.DFFs {
+		if d == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxCombDelay returns the length of the longest purely combinational
+// path in the circuit under the paper's delay model: the delay of a gate
+// equals its number of inputs (BUF and NOT therefore cost 1, constants 0).
+// This is the clock period of the circuit.
+func (c *Circuit) MaxCombDelay() int {
+	order, err := c.Levelize()
+	if err != nil {
+		return -1
+	}
+	arrive := make([]int, len(c.Nodes)) // arrival at node output
+	for _, id := range order {
+		n := &c.Nodes[id]
+		in := 0
+		for _, f := range n.Fanin {
+			if c.Nodes[f].Kind == KindGate && arrive[f] > in {
+				in = arrive[f]
+			}
+		}
+		arrive[id] = in + GateDelay(n)
+	}
+	max := 0
+	for id := range c.Nodes {
+		if arrive[id] > max {
+			max = arrive[id]
+		}
+	}
+	return max
+}
+
+// GateDelay returns the delay of a node under the paper's model: a
+// combinational gate costs one delay unit per input; inputs and DFFs
+// cost zero (their outputs are register/pad outputs).
+func GateDelay(n *Node) int {
+	if n.Kind != KindGate {
+		return 0
+	}
+	switch n.Op {
+	case logic.OpConst0, logic.OpConst1:
+		return 0
+	}
+	return len(n.Fanin)
+}

@@ -1,0 +1,272 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func buildToy(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := NewBuilder("toy").
+		Inputs("a", "b").
+		Gate("g", logic.OpAnd, "a", "q").
+		DFF("q", "g").
+		Gate("z", logic.OpOr, "g", "b").
+		Output("z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuilderBasic(t *testing.T) {
+	c := buildToy(t)
+	if got := c.NumNodes(); got != 5 {
+		t.Fatalf("NumNodes = %d", got)
+	}
+	if len(c.Inputs) != 2 || len(c.DFFs) != 1 || len(c.Outputs) != 1 {
+		t.Fatalf("wrong role counts: %+v", c)
+	}
+	g := c.MustNodeID("g")
+	q := c.MustNodeID("q")
+	if c.Nodes[g].Kind != KindGate || c.Nodes[g].Op != logic.OpAnd {
+		t.Fatal("gate node wrong")
+	}
+	if len(c.Nodes[g].Fanout) != 2 { // q and z
+		t.Fatalf("g fanout = %v", c.Nodes[g].Fanout)
+	}
+	if c.Nodes[q].Fanin[0] != g {
+		t.Fatal("dff fanin wrong")
+	}
+}
+
+func TestBuilderFeedbackAnyOrder(t *testing.T) {
+	// DFF referenced before declaration must work.
+	c, err := NewBuilder("fb").
+		Inputs("a").
+		Gate("g", logic.OpAnd, "a", "q").
+		DFF("q", "g").
+		Output("g").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeID("q") < 0 {
+		t.Fatal("q missing")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+		want string
+	}{
+		{"undeclared", NewBuilder("x").Gate("g", logic.OpNot, "nope").Output("g"), "undeclared"},
+		{"dup", NewBuilder("x").Inputs("a", "a").Output("a"), "duplicate"},
+		{"badout", NewBuilder("x").Inputs("a").Output("zz"), "undeclared"},
+		{"combloop", NewBuilder("x").Inputs("a").
+			Gate("g1", logic.OpAnd, "a", "g2").
+			Gate("g2", logic.OpAnd, "a", "g1").Output("g1"), "cycle"},
+		{"notarity", NewBuilder("x").Inputs("a", "b").Gate("g", logic.OpNot, "a", "b").Output("g"), "fanins"},
+	}
+	for _, tc := range cases {
+		_, err := tc.b.Build()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLevelizeOrder(t *testing.T) {
+	c := buildToy(t)
+	order, err := c.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	g, z := c.MustNodeID("g"), c.MustNodeID("z")
+	if pos[g] > pos[z] {
+		t.Fatal("g must precede z")
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	for _, c := range []*Circuit{
+		buildToy(t), Fig2C1(), Fig2C2(), Fig3L1(), Fig3L2(), Fig5N1(), Fig5N2(),
+		Fig1K1(), Fig1K2(), Fig1S1(), Fig1S2(),
+	} {
+		text := BenchString(c)
+		c2, err := ParseBenchString(c.Name, text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", c.Name, err)
+		}
+		if BenchString(c2) != text {
+			t.Fatalf("%s: round trip mismatch:\n%s\nvs\n%s", c.Name, text, BenchString(c2))
+		}
+		s1, s2 := c.Stats(), c2.Stats()
+		if s1 != s2 {
+			t.Fatalf("%s: stats changed: %+v vs %+v", c.Name, s1, s2)
+		}
+	}
+}
+
+func TestBenchParseErrors(t *testing.T) {
+	cases := []string{
+		"INPUT(a\n",
+		"g = FROB(a)\nINPUT(a)\n",
+		"INPUT(a)\nOUTPUT(a, b)\n",
+		"INPUT(a)\nq = DFF(a, a)\n",
+		"INPUT(a)\n= AND(a, a)\n",
+		"WIDGET(a)\n",
+		"INPUT(a)\ng = AND(a,, a)\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseBenchString("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestBenchParseComments(t *testing.T) {
+	src := `
+# a comment
+INPUT(a)   # trailing comment
+OUTPUT(z)
+z = not(a)
+`
+	c, err := ParseBenchString("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[c.MustNodeID("z")].Op != logic.OpNot {
+		t.Fatal("lower-case keyword not accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := buildToy(t)
+	c2 := c.Clone()
+	c2.Nodes[0].Name = "mutated"
+	c2.Inputs[0] = 99
+	if c.Nodes[0].Name == "mutated" || c.Inputs[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+	if c2.NodeID("a") != c.NodeID("a") {
+		t.Fatal("Clone index mismatch")
+	}
+}
+
+func TestStatsAndStems(t *testing.T) {
+	c := buildToy(t)
+	st := c.Stats()
+	if st.Inputs != 2 || st.Outputs != 1 || st.Gates != 2 || st.DFFs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	stems := c.FanoutStems()
+	if len(stems) != 1 || stems[0] != c.MustNodeID("g") {
+		t.Fatalf("stems = %v", stems)
+	}
+}
+
+func TestMaxCombDelayPaperModel(t *testing.T) {
+	// The paper states C1 has clock period 4 and C2 has period 3.
+	if got := Fig2C1().MaxCombDelay(); got != 4 {
+		t.Errorf("C1 period = %d, want 4", got)
+	}
+	if got := Fig2C2().MaxCombDelay(); got != 3 {
+		t.Errorf("C2 period = %d, want 3", got)
+	}
+}
+
+func TestFigureShapes(t *testing.T) {
+	cases := []struct {
+		c    *Circuit
+		dffs int
+	}{
+		{Fig2C1(), 1}, {Fig2C2(), 2},
+		{Fig3L1(), 1}, {Fig3L2(), 2},
+		{Fig5N1(), 3}, {Fig5N2(), 2},
+		{Fig1K1(), 2}, {Fig1K2(), 1},
+		{Fig1S1(), 1}, {Fig1S2(), 2},
+	}
+	for _, tc := range cases {
+		if got := len(tc.c.DFFs); got != tc.dffs {
+			t.Errorf("%s: %d DFFs, want %d", tc.c.Name, got, tc.dffs)
+		}
+	}
+	// G1 in Fig5N1 must be single-output (the paper moves registers
+	// forward across it as a single-output gate).
+	n1 := Fig5N1()
+	if got := len(n1.Nodes[n1.MustNodeID("G1")].Fanout); got != 1 {
+		t.Errorf("N1.G1 fanout = %d, want 1", got)
+	}
+	// Q in Fig3L1 must be a fanout stem.
+	l1 := Fig3L1()
+	if got := len(l1.Nodes[l1.MustNodeID("Q")].Fanout); got != 2 {
+		t.Errorf("L1.Q fanout = %d, want 2", got)
+	}
+}
+
+func TestRandomCircuitsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		p := RandomParams{
+			Inputs:   1 + rng.Intn(5),
+			Outputs:  1 + rng.Intn(3),
+			Gates:    1 + rng.Intn(30),
+			DFFs:     rng.Intn(6),
+			MaxFanin: 2 + rng.Intn(3),
+		}
+		c := Random(rng, p)
+		if _, err := c.Levelize(); err != nil {
+			t.Fatalf("random circuit invalid: %v", err)
+		}
+		// Round-trip through bench format as an extra invariant.
+		if _, err := ParseBenchString(c.Name, BenchString(c)); err != nil {
+			t.Fatalf("random circuit bench round trip: %v", err)
+		}
+	}
+}
+
+func TestNodeIDMissing(t *testing.T) {
+	c := buildToy(t)
+	if c.NodeID("nope") != -1 {
+		t.Fatal("NodeID should return -1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNodeID should panic")
+		}
+	}()
+	c.MustNodeID("nope")
+}
+
+func TestIndexHelpers(t *testing.T) {
+	c := buildToy(t)
+	if c.InputIndex(c.MustNodeID("b")) != 1 || c.InputIndex(c.MustNodeID("g")) != -1 {
+		t.Fatal("InputIndex wrong")
+	}
+	if c.DFFIndex(c.MustNodeID("q")) != 0 || c.DFFIndex(c.MustNodeID("g")) != -1 {
+		t.Fatal("DFFIndex wrong")
+	}
+	if !c.IsOutput(c.MustNodeID("z")) || c.IsOutput(c.MustNodeID("g")) {
+		t.Fatal("IsOutput wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInput.String() != "input" || KindGate.String() != "gate" || KindDFF.String() != "dff" {
+		t.Fatal("Kind.String wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// RandomParams controls random circuit generation.
+type RandomParams struct {
+	Inputs   int // number of primary inputs (>= 1)
+	Outputs  int // number of primary outputs (>= 1)
+	Gates    int // number of combinational gates (>= Outputs)
+	DFFs     int // number of flip-flops (>= 0)
+	MaxFanin int // maximum gate fanin (>= 2)
+}
+
+var randomOps = []logic.Op{
+	logic.OpAnd, logic.OpOr, logic.OpNand, logic.OpNor,
+	logic.OpNot, logic.OpBuf, logic.OpXor, logic.OpXnor,
+}
+
+// Random generates a structurally valid random sequential circuit: gates
+// are created in topological order with fanins drawn from primary
+// inputs, DFF outputs and earlier gates, so the combinational logic is
+// acyclic by construction while feedback through DFFs is common. It is
+// used by property-based tests across the library.
+func Random(rng *rand.Rand, p RandomParams) *Circuit {
+	if p.Inputs < 1 || p.Outputs < 1 || p.Gates < 1 || p.MaxFanin < 2 {
+		panic("netlist: invalid RandomParams")
+	}
+	b := NewBuilder(fmt.Sprintf("random-%d", rng.Int63()))
+	var pool []string // signals usable as gate fanin
+	for i := 0; i < p.Inputs; i++ {
+		name := fmt.Sprintf("pi%d", i)
+		b.Input(name)
+		pool = append(pool, name)
+	}
+	for i := 0; i < p.DFFs; i++ {
+		pool = append(pool, fmt.Sprintf("ff%d", i))
+	}
+	var gates []string
+	for i := 0; i < p.Gates; i++ {
+		op := randomOps[rng.Intn(len(randomOps))]
+		var nin int
+		switch op {
+		case logic.OpNot, logic.OpBuf:
+			nin = 1
+		default:
+			nin = 2 + rng.Intn(p.MaxFanin-1)
+		}
+		fanin := make([]string, nin)
+		for j := range fanin {
+			fanin[j] = pool[rng.Intn(len(pool))]
+		}
+		name := fmt.Sprintf("g%d", i)
+		b.Gate(name, op, fanin...)
+		pool = append(pool, name)
+		gates = append(gates, name)
+	}
+	// Flip-flop inputs prefer gates so feedback actually passes through
+	// logic; fall back to inputs for degenerate sizes.
+	for i := 0; i < p.DFFs; i++ {
+		src := gates[rng.Intn(len(gates))]
+		b.DFF(fmt.Sprintf("ff%d", i), src)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < p.Outputs; i++ {
+		// Bias outputs toward late gates so most logic is observable.
+		name := gates[len(gates)-1-rng.Intn((len(gates)+1)/2)]
+		if !seen[name] {
+			seen[name] = true
+			b.Output(name)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		panic(err) // construction is correct by construction
+	}
+	return c
+}

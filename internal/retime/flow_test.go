@@ -1,0 +1,203 @@
+package retime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// bruteForceMinRegisters enumerates small lag vectors exhaustively.
+func bruteForceMinRegisters(g *Graph, span int, maxPeriod int) (int, bool) {
+	var free []int
+	for v := range g.Verts {
+		if !g.Verts[v].Fixed() {
+			free = append(free, v)
+		}
+	}
+	if len(free) > 8 {
+		return 0, false
+	}
+	best := math.MaxInt
+	r := g.Zero()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			if g.Check(r) != nil {
+				return
+			}
+			if maxPeriod < math.MaxInt {
+				if _, p, ok := g.Delta(r); !ok || p > maxPeriod {
+					return
+				}
+			}
+			if c := g.RegistersAfter(r); c < best {
+				best = c
+			}
+			return
+		}
+		for d := -span; d <= span; d++ {
+			r[free[i]] = d
+			rec(i + 1)
+		}
+		r[free[i]] = 0
+	}
+	rec(0)
+	return best, best != math.MaxInt
+}
+
+func TestMinRegistersFig3(t *testing.T) {
+	// Note the model asymmetry: FromCircuit(L2) has a single 3-branch
+	// stem (Q1, Q2 and Z all hang off D), so the L1 configuration --
+	// one register shared ahead of the Q branches -- is not expressible
+	// there and L2's own optimum is 2. On L1's graph, which has both
+	// stem vertices, the forward-moved configuration (2 registers)
+	// minimizes back to 1.
+	g2 := FromCircuit(netlist.Fig3L2())
+	if _, count, err := g2.MinRegisters(); err != nil || count != 2 {
+		t.Fatalf("L2-graph optimum = %d (err %v), want 2", count, err)
+	}
+
+	g := FromCircuit(netlist.Fig3L1())
+	r := g.Zero()
+	for v := range g.Verts {
+		if g.Verts[v].Kind == VStem && g.Verts[v].Name == "Q#stem" {
+			r[v] = -1
+		}
+	}
+	moved, err := g.Retime(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Registers() != 2 {
+		t.Fatalf("forward-moved graph has %d registers", moved.Registers())
+	}
+	rOpt, count, err := moved.MinRegisters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("optimal register count = %d, want 1", count)
+	}
+	if err := moved.Check(rOpt); err != nil {
+		t.Fatal(err)
+	}
+	if moved.RegistersAfter(rOpt) != count {
+		t.Fatal("count disagrees with retiming")
+	}
+}
+
+// TestMinRegistersMatchesBruteForce is the optimality cross-check on
+// tiny circuits.
+func TestMinRegistersMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	checked := 0
+	for iter := 0; iter < 60 && checked < 12; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1, Gates: 2 + rng.Intn(4),
+			DFFs: 1 + rng.Intn(3), MaxFanin: 2,
+		})
+		g := FromCircuit(c)
+		want, ok := bruteForceMinRegisters(g, 3, math.MaxInt)
+		if !ok {
+			continue
+		}
+		_, got, err := g.MinRegisters()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: flow found %d registers, brute force %d", c.Name, got, want)
+		}
+		checked++
+	}
+	if checked < 6 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// TestMinRegistersNeverWorseThanGreedy: the exact solver must dominate
+// the hill climber.
+func TestMinRegistersNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	for iter := 0; iter < 25; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(3), Outputs: 1 + rng.Intn(2),
+			Gates: 4 + rng.Intn(25), DFFs: 1 + rng.Intn(5), MaxFanin: 3,
+		})
+		g := FromCircuit(c)
+		_, opt, err := g.MinRegisters()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		greedy := g.RegistersAfter(g.ReduceRegisters(g.Zero(), math.MaxInt))
+		if opt > greedy {
+			t.Fatalf("%s: flow %d worse than greedy %d", c.Name, opt, greedy)
+		}
+	}
+}
+
+func TestMinRegistersAtPeriod(t *testing.T) {
+	g := FromCircuit(netlist.Fig2C1())
+	// Unconstrained optimum for C1 is its single register.
+	_, free, err := g.MinRegisters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 1 {
+		t.Fatalf("unconstrained = %d, want 1", free)
+	}
+	// At the minimum period (3) the optimum needs at least as many.
+	r, atMin, err := g.MinRegistersAtPeriod(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atMin < free {
+		t.Fatalf("constrained optimum %d below unconstrained %d", atMin, free)
+	}
+	if _, p, ok := g.Delta(r); !ok || p > 3 {
+		t.Fatalf("period constraint violated: %d", p)
+	}
+	// Brute-force cross-check.
+	want, ok := bruteForceMinRegisters(g, 2, 3)
+	if !ok {
+		t.Skip("graph too large for brute force")
+	}
+	if atMin != want {
+		t.Fatalf("constrained optimum %d, brute force %d", atMin, want)
+	}
+}
+
+// TestMinRegistersAtPeriodProperty cross-checks the period-constrained
+// optimum against brute force on tiny circuits.
+func TestMinRegistersAtPeriodProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	checked := 0
+	for iter := 0; iter < 60 && checked < 8; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1, Gates: 2 + rng.Intn(4),
+			DFFs: 1 + rng.Intn(2), MaxFanin: 2,
+		})
+		g := FromCircuit(c)
+		_, pmin, err := g.MinPeriod()
+		if err != nil {
+			continue
+		}
+		want, ok := bruteForceMinRegisters(g, 3, pmin)
+		if !ok {
+			continue
+		}
+		_, got, err := g.MinRegistersAtPeriod(pmin)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: constrained flow %d, brute force %d (period %d)", c.Name, got, want, pmin)
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}

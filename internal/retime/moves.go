@@ -1,0 +1,71 @@
+package retime
+
+// Moves summarizes a retiming as counts of atomic moves: any retiming
+// with lag r(v) at vertex v is realized by |r(v)| atomic moves across v,
+// backward when r(v) > 0 (registers travel from the vertex's outputs to
+// its inputs) and forward when r(v) < 0.
+type Moves struct {
+	// MaxForward is the maximum number of forward moves across any
+	// vertex; the paper's Theorems 3 and 4 use it as the prefix length.
+	MaxForward int
+	// MaxBackward is the analogous backward count (Lemma 2's B).
+	MaxBackward int
+	// MaxForwardStem / MaxBackwardStem restrict the maxima to fanout
+	// stem vertices; Theorem 2's fault-free prefix uses MaxForwardStem.
+	MaxForwardStem  int
+	MaxBackwardStem int
+	// TotalForward / TotalBackward count atomic moves over all vertices.
+	TotalForward  int
+	TotalBackward int
+}
+
+// AnalyzeMoves decomposes the retiming into atomic move counts.
+func (g *Graph) AnalyzeMoves(r Retiming) Moves {
+	var m Moves
+	for v := range g.Verts {
+		lag := r[v]
+		fwd, bwd := 0, 0
+		if lag > 0 {
+			bwd = lag
+		} else {
+			fwd = -lag
+		}
+		m.TotalForward += fwd
+		m.TotalBackward += bwd
+		if fwd > m.MaxForward {
+			m.MaxForward = fwd
+		}
+		if bwd > m.MaxBackward {
+			m.MaxBackward = bwd
+		}
+		if g.Verts[v].Kind == VStem {
+			if fwd > m.MaxForwardStem {
+				m.MaxForwardStem = fwd
+			}
+			if bwd > m.MaxBackwardStem {
+				m.MaxBackwardStem = bwd
+			}
+		}
+	}
+	return m
+}
+
+// Invert returns the retiming that maps the retimed graph back to the
+// original: if G' = Retime(G, r) then Retime(G', Invert(r)) = G.
+func Invert(r Retiming) Retiming {
+	out := make(Retiming, len(r))
+	for i, v := range r {
+		out[i] = -v
+	}
+	return out
+}
+
+// Compose returns the retiming equivalent to applying a then b
+// (lags add; edge indices are shared across retimings of one graph).
+func Compose(a, b Retiming) Retiming {
+	out := make(Retiming, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package retime
+
+import "math/rand"
+
+// RandomRetiming generates a legal retiming by a random walk of atomic
+// moves: repeatedly pick a movable vertex and a direction and apply the
+// lag change when it keeps all adjacent edge weights non-negative. It
+// is used by the property-based tests (Corollary 1: any legal retiming
+// preserves testability) and by the ablation benchmarks.
+func (g *Graph) RandomRetiming(rng *rand.Rand, steps int) Retiming {
+	r := g.Zero()
+	var movable []int
+	for v := range g.Verts {
+		if !g.Verts[v].Fixed() {
+			movable = append(movable, v)
+		}
+	}
+	if len(movable) == 0 {
+		return r
+	}
+	for i := 0; i < steps; i++ {
+		v := movable[rng.Intn(len(movable))]
+		d := 1
+		if rng.Intn(2) == 0 {
+			d = -1
+		}
+		r[v] += d
+		if !g.legalAround(r, v) {
+			r[v] -= d
+		}
+	}
+	return r
+}

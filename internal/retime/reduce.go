@@ -1,0 +1,76 @@
+package retime
+
+import "math"
+
+// ReduceRegisters improves the retiming r by legal single-vertex lag
+// changes that reduce the total register count while keeping the clock
+// period at or below maxPeriod (pass math.MaxInt for an unconstrained
+// register minimization, the "retime for testability" direction of the
+// paper's Fig. 6 flow). The hill climber runs to a local optimum; the
+// returned retiming is always legal.
+func (g *Graph) ReduceRegisters(r Retiming, maxPeriod int) Retiming {
+	cur := append(Retiming(nil), r...)
+	if g.Check(cur) != nil {
+		return cur
+	}
+	// Precompute degree imbalance: changing r(v) by +1 changes the
+	// register count by indeg(v) - outdeg(v).
+	for {
+		improved := false
+		for v := range g.Verts {
+			if g.Verts[v].Fixed() {
+				continue
+			}
+			for _, d := range []int{1, -1} {
+				gain := d * (len(g.In[v]) - len(g.Out[v]))
+				if gain >= 0 {
+					continue
+				}
+				cur[v] += d
+				if g.legalAround(cur, v) && g.periodOK(cur, maxPeriod) {
+					improved = true
+					break // keep the move, move on to the next vertex
+				}
+				cur[v] -= d
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// legalAround checks non-negativity only on the edges touching v.
+func (g *Graph) legalAround(r Retiming, v int) bool {
+	for _, e := range g.In[v] {
+		if g.WeightAfter(r, e) < 0 {
+			return false
+		}
+	}
+	for _, e := range g.Out[v] {
+		if g.WeightAfter(r, e) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Graph) periodOK(r Retiming, maxPeriod int) bool {
+	if maxPeriod == math.MaxInt {
+		// Even unconstrained reductions must not create zero-weight
+		// cycles (they cannot, for legal retimings, but guard anyway).
+		_, _, ok := g.Delta(r)
+		return ok
+	}
+	_, p, ok := g.Delta(r)
+	return ok && p <= maxPeriod
+}
+
+// RegistersAfter returns the total register count under retiming r.
+func (g *Graph) RegistersAfter(r Retiming) int {
+	total := 0
+	for e := range g.Edges {
+		total += g.WeightAfter(r, e)
+	}
+	return total
+}

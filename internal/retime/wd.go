@@ -1,0 +1,194 @@
+package retime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the other classical minimum-period algorithm
+// from Leiserson and Saxe ("OPT1"): all-pairs W and D matrices,
+// candidate periods from the D values, and feasibility checking by
+// solving the difference-constraint system with Bellman-Ford. It is
+// quadratic in memory, so it is guarded to graphs of moderate size; its
+// role here is to cross-check the FEAS-based search (they must agree on
+// the optimal period) and to serve as an ablation benchmark.
+
+// MaxWDVertices bounds the graph size for the matrix algorithm: both
+// the quadratic memory and the cubic Floyd-Warshall pass stop being
+// pleasant around a thousand vertices.
+const MaxWDVertices = 1000
+
+// WDMatrices returns the Leiserson-Saxe W and D matrices:
+// W[u][v] is the minimum register count over all u->v paths, and
+// D[u][v] is the maximum total vertex delay over the minimum-register
+// u->v paths (including both endpoints). Unreachable pairs hold
+// W = math.MaxInt32 and D = math.MinInt32.
+func (g *Graph) WDMatrices() (W [][]int32, D [][]int32, err error) {
+	n := len(g.Verts)
+	if n > MaxWDVertices {
+		return nil, nil, fmt.Errorf("retime: %d vertices exceeds the W/D matrix cap of %d", n, MaxWDVertices)
+	}
+	const infW = math.MaxInt32
+	const negD = math.MinInt32
+	W = make([][]int32, n)
+	D = make([][]int32, n)
+	for u := range W {
+		W[u] = make([]int32, n)
+		D[u] = make([]int32, n)
+		for v := range W[u] {
+			W[u][v] = infW
+			D[u][v] = negD
+		}
+		// The empty path: zero registers, just the vertex's own delay.
+		W[u][u] = 0
+		D[u][u] = int32(g.Verts[u].Delay)
+	}
+	for e := range g.Edges {
+		ed := &g.Edges[e]
+		w := int32(ed.W)
+		d := int32(g.Verts[ed.From].Delay + g.Verts[ed.To].Delay)
+		if w < W[ed.From][ed.To] || (w == W[ed.From][ed.To] && d > D[ed.From][ed.To]) {
+			W[ed.From][ed.To] = w
+			D[ed.From][ed.To] = d
+		}
+	}
+	// Floyd-Warshall on the lexicographic (register count, -delay) cost.
+	for k := 0; k < n; k++ {
+		wk, dk := W[k], D[k]
+		for u := 0; u < n; u++ {
+			wu := W[u]
+			if wu[k] == infW {
+				continue
+			}
+			du := D[u]
+			for v := 0; v < n; v++ {
+				if wk[v] == infW {
+					continue
+				}
+				w := wu[k] + wk[v]
+				d := du[k] + dk[v] - int32(g.Verts[k].Delay) // k counted twice
+				if w < wu[v] || (w == wu[v] && d > du[v]) {
+					wu[v] = w
+					du[v] = d
+				}
+			}
+		}
+	}
+	return W, D, nil
+}
+
+// MinPeriodWD computes a minimum-period retiming with the W/D-matrix
+// algorithm: binary search over the distinct D values, testing each
+// candidate period by solving the difference constraints
+//
+//	r(u) - r(v) <= w(e)            for every edge u->v
+//	r(u) - r(v) <= W(u,v) - 1      whenever D(u,v) > c
+//
+// with Bellman-Ford (a negative cycle means infeasible). Fixed vertices
+// are tied together with zero-difference constraints and normalized to
+// lag zero.
+func (g *Graph) MinPeriodWD() (Retiming, int, error) {
+	W, D, err := g.WDMatrices()
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(g.Verts)
+	// Candidate clock periods: all attainable D values.
+	seen := map[int32]bool{}
+	var cands []int32
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if D[u][v] != math.MinInt32 && !seen[D[u][v]] {
+				seen[D[u][v]] = true
+				cands = append(cands, D[u][v])
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	lo, hi := 0, len(cands)-1
+	var best Retiming
+	bestPeriod := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if r, ok := g.feasibleWD(W, D, int(cands[mid])); ok {
+			best, bestPeriod = r, int(cands[mid])
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("retime: no feasible period found for %q", g.Name)
+	}
+	if err := g.Check(best); err != nil {
+		return nil, 0, err
+	}
+	// The achieved period can be below the tested candidate.
+	if _, p, ok := g.Delta(best); ok && p < bestPeriod {
+		bestPeriod = p
+	}
+	return best, bestPeriod, nil
+}
+
+// feasibleWD solves the period-c constraint system.
+func (g *Graph) feasibleWD(W, D [][]int32, c int) (Retiming, bool) {
+	n := len(g.Verts)
+	type constraint struct {
+		u, v int // r(u) - r(v) <= k  ==> relax r(u) against r(v)
+		k    int32
+	}
+	var cons []constraint
+	for e := range g.Edges {
+		ed := &g.Edges[e]
+		cons = append(cons, constraint{ed.From, ed.To, int32(ed.W)})
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if W[u][v] != math.MaxInt32 && D[u][v] != math.MinInt32 && int(D[u][v]) > c {
+				cons = append(cons, constraint{u, v, W[u][v] - 1})
+			}
+		}
+	}
+	// Tie all fixed vertices together at equal lag.
+	fixed := -1
+	for v := range g.Verts {
+		if !g.Verts[v].Fixed() {
+			continue
+		}
+		if fixed >= 0 {
+			cons = append(cons, constraint{fixed, v, 0}, constraint{v, fixed, 0})
+		} else {
+			fixed = v
+		}
+	}
+	// Bellman-Ford from a virtual source connected to every vertex.
+	dist := make([]int64, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, cn := range cons {
+			if d := dist[cn.v] + int64(cn.k); d < dist[cn.u] {
+				dist[cn.u] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n-1 {
+			return nil, false // still relaxing: negative cycle
+		}
+	}
+	r := make(Retiming, n)
+	var offset int64
+	if fixed >= 0 {
+		offset = dist[fixed]
+	}
+	for v := range r {
+		r[v] = int(dist[v] - offset)
+	}
+	if g.Check(r) != nil {
+		return nil, false
+	}
+	return r, true
+}

@@ -1,0 +1,131 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file covers the remaining Section II machinery of the paper:
+// reset states and valid states, state distinguishability, and the
+// N-time-equivalence relation that Lemma 2 combines from the two
+// containment directions.
+
+// ResetStates returns the states a synchronizing sequence can land in
+// (the paper's reset states): the union, over every shortest
+// functional synchronizing sequence found up to maxLen, of the final
+// state sets. It returns nil if the machine has no synchronizing
+// sequence within the bound.
+func ResetStates(m *Machine, maxLen int) ([]uint64, error) {
+	seq, ok, err := FunctionalSync(m, maxLen)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return finalStates(m, seq), nil
+}
+
+// ValidStates returns the states reachable from any of the given reset
+// states via some input sequence (the paper's valid states), as a
+// sorted slice.
+func ValidStates(m *Machine, resets []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(resets))
+	var frontier []uint64
+	for _, s := range resets {
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for in := uint64(0); in < m.NumInputs; in++ {
+			n, _ := m.step(s, in)
+			if !seen[n] {
+				seen[n] = true
+				frontier = append(frontier, n)
+			}
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortU64(out)
+	return out
+}
+
+// Distinguishable reports whether states qa and qb (of machines a and
+// b, which may be the same) are distinguishable: some input sequence
+// yields different output sequences. This is the complement of
+// equivalence for deterministic complete machines.
+func Distinguishable(a, b *Machine, qa, qb uint64) (bool, error) {
+	p, err := JointEquivalence(a, b)
+	if err != nil {
+		return false, err
+	}
+	return !p.Equivalent(qa, qb), nil
+}
+
+// DistinguishingSequence finds a shortest input sequence that yields
+// different output sequences from states qa of a and qb of b, by BFS
+// over state pairs. ok is false when the states are equivalent.
+func DistinguishingSequence(a, b *Machine, qa, qb uint64, maxLen int) (sim.Seq, bool, error) {
+	if a.NumInputs != b.NumInputs {
+		return nil, false, fmt.Errorf("stg: machines have different input alphabets")
+	}
+	type pair struct{ sa, sb uint64 }
+	type entry struct {
+		p   pair
+		seq []uint64
+	}
+	visited := map[pair]bool{{qa, qb}: true}
+	frontier := []entry{{p: pair{qa, qb}}}
+	for depth := 0; depth < maxLen; depth++ {
+		var next []entry
+		for _, e := range frontier {
+			for in := uint64(0); in < a.NumInputs; in++ {
+				na, oa := a.step(e.p.sa, in)
+				nb, ob := b.step(e.p.sb, in)
+				seq2 := append(append([]uint64(nil), e.seq...), in)
+				if oa != ob {
+					out := make(sim.Seq, len(seq2))
+					for i, w := range seq2 {
+						out[i] = sim.UnpackVec(w, len(a.C.Inputs))
+					}
+					return out, true, nil
+				}
+				np := pair{na, nb}
+				if !visited[np] {
+					visited[np] = true
+					next = append(next, entry{np, seq2})
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return nil, false, nil
+}
+
+// TimeEquivalent returns the smallest N <= maxN such that A ==Nt B
+// (both A >=N1t B and B >=N2t A with N = max(N1, N2)), the paper's
+// N-time-equivalence. Lemma 2.3 states every circuit and its retimed
+// version satisfy this with N = max(F, B).
+func TimeEquivalent(a, b *Machine, maxN int) (int, bool, error) {
+	n1, ok1, err := TimeContains(a, b, maxN)
+	if err != nil || !ok1 {
+		return 0, false, err
+	}
+	n2, ok2, err := TimeContains(b, a, maxN)
+	if err != nil || !ok2 {
+		return 0, false, err
+	}
+	n := n1
+	if n2 > n {
+		n = n2
+	}
+	return n, true, nil
+}

@@ -1,0 +1,163 @@
+package stg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/retime"
+	"repro/internal/sim"
+)
+
+func TestResetAndValidStates(t *testing.T) {
+	m := MustExtract(netlist.Fig3L1(), nil)
+	resets, err := ResetStates(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resets) == 0 {
+		t.Fatal("L1 is synchronizable; reset states expected")
+	}
+	valid := ValidStates(m, resets)
+	// L1's two states are both reachable from either reset state.
+	if len(valid) != 2 {
+		t.Fatalf("valid states = %v", valid)
+	}
+	// In L2 only the consistent states are valid once synchronized.
+	m2 := MustExtract(netlist.Fig3L2(), nil)
+	resets2, err := ResetStates(m2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid2 := ValidStates(m2, resets2)
+	for _, s := range valid2 {
+		if s == 1 || s == 2 { // 01 and 10: inconsistent states
+			t.Fatalf("inconsistent state %b is valid: %v", s, valid2)
+		}
+	}
+}
+
+func TestDistinguishable(t *testing.T) {
+	m := MustExtract(netlist.Fig2C1(), nil)
+	d, err := Distinguishable(m, m, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d {
+		t.Fatal("C1's two states are distinguishable (no equivalent states)")
+	}
+	m2 := MustExtract(netlist.Fig2C2(), nil)
+	d, err = Distinguishable(m2, m2, 1, 3) // 01 vs 11: equivalent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d {
+		t.Fatal("C2's states 01 and 11 are equivalent")
+	}
+}
+
+func TestDistinguishingSequence(t *testing.T) {
+	m := MustExtract(netlist.Fig2C1(), nil)
+	seq, ok, err := DistinguishingSequence(m, m, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(seq) == 0 {
+		t.Fatal("no distinguishing sequence found")
+	}
+	// Verify: outputs differ at some step.
+	_, oa := m.RunFrom(0, seq)
+	_, ob := m.RunFrom(1, seq)
+	differ := false
+	for i := range oa {
+		if oa[i] != ob[i] {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatalf("sequence %s does not distinguish", sim.SeqString(seq))
+	}
+	// Equivalent states must yield no sequence.
+	m2 := MustExtract(netlist.Fig2C2(), nil)
+	if _, ok, _ := DistinguishingSequence(m2, m2, 1, 3, 6); ok {
+		t.Fatal("found a distinguishing sequence for equivalent states")
+	}
+}
+
+// TestDistinguishingAcrossMachines: C1's state 0 vs C2's state 00 are
+// equivalent across machines; state 0 vs 01 are not.
+func TestDistinguishingAcrossMachines(t *testing.T) {
+	c1 := MustExtract(netlist.Fig2C1(), nil)
+	c2 := MustExtract(netlist.Fig2C2(), nil)
+	if _, ok, _ := DistinguishingSequence(c1, c2, 0, 0, 6); ok {
+		t.Fatal("C1:0 and C2:00 are equivalent")
+	}
+	seq, ok, err := DistinguishingSequence(c1, c2, 0, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("C1:0 and C2:01 are distinguishable")
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty sequence")
+	}
+}
+
+// TestLemma2TimeEquivalenceProperty: random retimings satisfy
+// A ==Nt A' with N <= max(F, B) over stem moves (Lemma 2.3).
+func TestLemma2TimeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tested := 0
+	for iter := 0; iter < 60 && tested < 10; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1 + rng.Intn(2),
+			Gates: 3 + rng.Intn(8), DFFs: 1 + rng.Intn(3), MaxFanin: 3,
+		})
+		g := retime.FromCircuit(c)
+		r := g.RandomRetiming(rng, 6)
+		rg, err := g.Retime(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _, err := g.Materialize("o")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, _, err := rg.Materialize("r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig.DFFs) > 7 || len(ret.DFFs) > 7 || len(orig.Inputs) > 3 {
+			continue
+		}
+		mo, err := Extract(orig, nil)
+		if err != nil {
+			continue
+		}
+		mr, err := Extract(ret, nil)
+		if err != nil {
+			continue
+		}
+		moves := g.AnalyzeMoves(r)
+		bound := moves.MaxForwardStem
+		if moves.MaxBackwardStem > bound {
+			bound = moves.MaxBackwardStem
+		}
+		n, ok, err := TimeEquivalent(mo, mr, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s: not %d-time-equivalent (F=%d B=%d)", c.Name, bound,
+				moves.MaxForwardStem, moves.MaxBackwardStem)
+		}
+		if n > bound {
+			t.Fatalf("%s: N = %d exceeds bound %d", c.Name, n, bound)
+		}
+		tested++
+	}
+	if tested < 5 {
+		t.Fatalf("only %d instances tested", tested)
+	}
+}

@@ -1,0 +1,194 @@
+package stg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition holds the joint equivalence classes over the states of two
+// machines (pass the same machine twice for self-equivalence). States q
+// of A and q' of B are equivalent -- identical I/O behaviour from those
+// initial states -- exactly when ClassA[q] == ClassB[q'].
+type Partition struct {
+	ClassA []int
+	ClassB []int
+	Num    int
+}
+
+// JointEquivalence computes state equivalence across two machines with
+// identical input and output widths, by Moore-style partition
+// refinement over the disjoint union of their state sets.
+func JointEquivalence(a, b *Machine) (*Partition, error) {
+	if a.NumInputs != b.NumInputs {
+		return nil, fmt.Errorf("stg: machines have different input alphabets (%d vs %d)",
+			a.NumInputs, b.NumInputs)
+	}
+	if len(a.C.Outputs) != len(b.C.Outputs) {
+		return nil, fmt.Errorf("stg: machines have different output widths")
+	}
+	na, nb := int(a.NumStates), int(b.NumStates)
+	total := na + nb
+	ni := int(a.NumInputs)
+
+	// class assignment over the union; refine until stable.
+	class := make([]int, total)
+	machineOf := func(s int) (*Machine, uint64) {
+		if s < na {
+			return a, uint64(s)
+		}
+		return b, uint64(s - na)
+	}
+	indexOf := func(m *Machine, q uint64) int {
+		if m == a {
+			return int(q)
+		}
+		return na + int(q)
+	}
+
+	// Initial partition: by full output row.
+	sig := make([]string, total)
+	for s := 0; s < total; s++ {
+		m, q := machineOf(s)
+		row := make([]byte, 0, ni*8)
+		for i := 0; i < ni; i++ {
+			_, o := m.step(q, uint64(i))
+			row = appendU64(row, o)
+		}
+		sig[s] = string(row)
+	}
+	num := assignClasses(sig, class)
+
+	for {
+		for s := 0; s < total; s++ {
+			m, q := machineOf(s)
+			row := make([]byte, 0, ni*16)
+			row = appendU64(row, uint64(class[s]))
+			for i := 0; i < ni; i++ {
+				n, o := m.step(q, uint64(i))
+				row = appendU64(row, o)
+				row = appendU64(row, uint64(class[indexOf(m, n)]))
+			}
+			sig[s] = string(row)
+		}
+		newNum := assignClasses(sig, class)
+		if newNum == num {
+			break
+		}
+		num = newNum
+	}
+	p := &Partition{ClassA: class[:na:na], ClassB: class[na:], Num: num}
+	return p, nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+func assignClasses(sig []string, class []int) int {
+	ids := make(map[string]int, len(sig))
+	for s, g := range sig {
+		id, ok := ids[g]
+		if !ok {
+			id = len(ids)
+			ids[g] = id
+		}
+		class[s] = id
+	}
+	return len(ids)
+}
+
+// Equivalent reports whether state qa of machine A is equivalent to
+// state qb of machine B under the partition.
+func (p *Partition) Equivalent(qa, qb uint64) bool {
+	return p.ClassA[qa] == p.ClassB[qb]
+}
+
+// AllEquivalentB reports whether every state in the given set of
+// B-states falls in one class (the paper's "set of equivalent states").
+func (p *Partition) AllEquivalentB(states []uint64) bool {
+	for i := 1; i < len(states); i++ {
+		if p.ClassB[states[i]] != p.ClassB[states[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// SpaceContains reports the paper's K containing-relation A >=s B:
+// every state of B has an equivalent state in A.
+func SpaceContains(a, b *Machine) (bool, error) {
+	p, err := JointEquivalence(a, b)
+	if err != nil {
+		return false, err
+	}
+	inA := make(map[int]bool)
+	for _, cl := range p.ClassA {
+		inA[cl] = true
+	}
+	for _, cl := range p.ClassB {
+		if !inA[cl] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SpaceEquivalent reports A ==s B: containment both ways.
+func SpaceEquivalent(a, b *Machine) (bool, error) {
+	ab, err := SpaceContains(a, b)
+	if err != nil || !ab {
+		return false, err
+	}
+	return SpaceContains(b, a)
+}
+
+// TimeContains returns the smallest N <= maxN such that A >=s B_N
+// (every state B can be in after N transitions has an equivalent state
+// in A), i.e. the paper's A >=Nt B.
+func TimeContains(a, b *Machine, maxN int) (int, bool, error) {
+	p, err := JointEquivalence(a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	inA := make(map[int]bool)
+	for _, cl := range p.ClassA {
+		inA[cl] = true
+	}
+	for n := 0; n <= maxN; n++ {
+		ok := true
+		for _, s := range b.ReachableAfter(n) {
+			if !inA[p.ClassB[s]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return n, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// SelfClasses returns the equivalence classes of a single machine as a
+// list of state sets (sorted, deterministic).
+func SelfClasses(m *Machine) ([][]uint64, error) {
+	p, err := JointEquivalence(m, m)
+	if err != nil {
+		return nil, err
+	}
+	byClass := make(map[int][]uint64)
+	for s := uint64(0); s < m.NumStates; s++ {
+		cl := p.ClassA[s]
+		byClass[cl] = append(byClass[cl], s)
+	}
+	var classes [][]uint64
+	for _, states := range byClass {
+		sortU64(states)
+		classes = append(classes, states)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	return classes, nil
+}

@@ -1,0 +1,64 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/fsmgen"
+)
+
+// ToFSM converts an exhaustively extracted machine back into a KISS2
+// finite-state machine with fully enumerated input minterms (no cube
+// merging). State names encode the binary state value; the reset state,
+// when given a synchronizing sequence bound, is the machine's unique
+// reset target if one exists.
+//
+// Together with fsmgen.Synthesize this closes the loop
+// circuit -> STG -> KISS2 -> circuit, which the tests use as an
+// end-to-end cross-validation of the extraction, the synthesis and the
+// equivalence checker.
+func (m *Machine) ToFSM(name string, syncBound int) (*fsmgen.FSM, error) {
+	if m.NumInputs > 64 || m.NumStates > 1<<12 {
+		return nil, fmt.Errorf("stg: machine too large to enumerate as KISS2")
+	}
+	f := &fsmgen.FSM{
+		Name:       name,
+		NumInputs:  len(m.C.Inputs),
+		NumOutputs: len(m.C.Outputs),
+	}
+	stateName := func(s uint64) string { return fmt.Sprintf("q%0*b", len(m.C.DFFs), s) }
+	for s := uint64(0); s < m.NumStates; s++ {
+		f.States = append(f.States, stateName(s))
+	}
+	if syncBound > 0 {
+		if resets, err := ResetStates(m, syncBound); err == nil && len(resets) > 0 {
+			f.Reset = stateName(resets[0])
+		}
+	}
+	for s := uint64(0); s < m.NumStates; s++ {
+		for in := uint64(0); in < m.NumInputs; in++ {
+			next, out := m.step(s, in)
+			f.Trans = append(f.Trans, fsmgen.Trans{
+				In:   bits(in, f.NumInputs),
+				From: stateName(s),
+				To:   stateName(next),
+				Out:  bits(out, f.NumOutputs),
+			})
+		}
+	}
+	if err := f.Validate(true); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func bits(w uint64, n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if w>>uint(i)&1 != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

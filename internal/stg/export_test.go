@@ -1,0 +1,82 @@
+package stg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fsmgen"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestToFSMFig2(t *testing.T) {
+	m := MustExtract(netlist.Fig2C1(), nil)
+	f, err := m.ToFSM("c1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.States) != 2 || f.NumInputs != 2 || f.NumOutputs != 1 {
+		t.Fatalf("shape: %d states %d/%d io", len(f.States), f.NumInputs, f.NumOutputs)
+	}
+	if len(f.Trans) != 8 { // 2 states x 4 input minterms
+		t.Fatalf("%d transitions", len(f.Trans))
+	}
+	if f.Reset == "" {
+		t.Fatal("C1 is synchronizable; a reset state was expected")
+	}
+	// Every transition must agree with the machine.
+	for _, tr := range f.Trans {
+		s := sim.PackVec(sim.ParseVec(tr.From[1:])) // strip the 'q'
+		in := sim.PackVec(sim.ParseVec(tr.In))
+		next, out := m.step(s, in)
+		if bits(next, len(m.C.DFFs)) != tr.To[1:] || bits(out, f.NumOutputs) != tr.Out {
+			t.Fatalf("transition mismatch at %s/%s", tr.From, tr.In)
+		}
+	}
+}
+
+// TestCircuitFSMRoundTrip closes the loop: extract the STG of a random
+// circuit, export it as KISS2, re-synthesize it, and require the result
+// to be behaviourally equivalent to the original from corresponding
+// states.
+func TestCircuitFSMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	done := 0
+	for iter := 0; iter < 30 && done < 6; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1 + rng.Intn(2),
+			Gates: 3 + rng.Intn(10), DFFs: 1 + rng.Intn(3), MaxFanin: 3,
+		})
+		m, err := Extract(c, nil)
+		if err != nil {
+			continue
+		}
+		f, err := m.ToFSM(c.Name+".fsm", 0)
+		if err != nil {
+			continue
+		}
+		resynth, err := fsmgen.Synthesize(f, fsmgen.SynthOptions{
+			Encoding: fsmgen.EncInput, Script: fsmgen.ScriptDelay,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		m2, err := Extract(resynth, nil)
+		if err != nil {
+			continue
+		}
+		// Every original state must have an equivalent state in the
+		// re-synthesized machine (the encoder renames states).
+		ok, err := SpaceContains(m2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s: re-synthesized machine lost behaviour", c.Name)
+		}
+		done++
+	}
+	if done < 3 {
+		t.Fatalf("only %d round trips", done)
+	}
+}

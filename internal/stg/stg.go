@@ -1,0 +1,139 @@
+// Package stg extracts and analyzes state transition graphs: state
+// equivalence within and across machines, the paper's space-containment
+// and time-containment relations (Section II), and functional- and
+// structural-based synchronizing sequences (Section IV).
+//
+// Everything here enumerates states exhaustively and is meant for the
+// small circuits the paper reasons about explicitly (its figures and
+// lemma/theorem statements); the experimental tables use fault
+// simulation instead, which scales.
+package stg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// MaxTableSize bounds states x inputs for exhaustive extraction.
+const MaxTableSize = 1 << 22
+
+// Machine is an exhaustively extracted Mealy machine.
+type Machine struct {
+	C         *netlist.Circuit
+	Fault     *fault.Fault // nil for the fault-free machine
+	NumStates uint64
+	NumInputs uint64
+	Next      []uint64 // Next[s*NumInputs+i]
+	Out       []uint64 // Out[s*NumInputs+i]
+}
+
+// Extract builds the state transition graph of the circuit, optionally
+// under a stuck-at fault. It fails when the table would be unreasonably
+// large.
+func Extract(c *netlist.Circuit, f *fault.Fault) (*Machine, error) {
+	if len(c.DFFs) > 20 || len(c.Inputs) > 20 {
+		return nil, fmt.Errorf("stg: circuit %q too wide for exhaustive extraction", c.Name)
+	}
+	ns := uint64(1) << uint(len(c.DFFs))
+	ni := uint64(1) << uint(len(c.Inputs))
+	if ns*ni > MaxTableSize {
+		return nil, fmt.Errorf("stg: circuit %q has %d x %d transitions, beyond the %d cap",
+			c.Name, ns, ni, MaxTableSize)
+	}
+	m := &Machine{C: c, Fault: f, NumStates: ns, NumInputs: ni,
+		Next: make([]uint64, ns*ni), Out: make([]uint64, ns*ni)}
+	mach := fsim.NewMachine(c, f)
+	for s := uint64(0); s < ns; s++ {
+		for i := uint64(0); i < ni; i++ {
+			mach.SetState(sim.UnpackVec(s, len(c.DFFs)))
+			out := mach.Step(sim.UnpackVec(i, len(c.Inputs)))
+			m.Next[s*ni+i] = sim.PackVec(mach.State())
+			m.Out[s*ni+i] = sim.PackVec(out)
+		}
+	}
+	return m, nil
+}
+
+// MustExtract is Extract that panics on error.
+func MustExtract(c *netlist.Circuit, f *fault.Fault) *Machine {
+	m, err := Extract(c, f)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// step returns the packed next state and output for state s on input i.
+func (m *Machine) step(s, i uint64) (uint64, uint64) {
+	return m.Next[s*m.NumInputs+i], m.Out[s*m.NumInputs+i]
+}
+
+// Image returns the set of states reachable from the state set in one
+// transition under the given input, as a sorted slice.
+func (m *Machine) Image(states []uint64, input uint64) []uint64 {
+	seen := make(map[uint64]bool, len(states))
+	var out []uint64
+	for _, s := range states {
+		n, _ := m.step(s, input)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sortU64(out)
+	return out
+}
+
+// AllStates returns 0..NumStates-1.
+func (m *Machine) AllStates() []uint64 {
+	out := make([]uint64, m.NumStates)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+// ReachableAfter returns the paper's K_i: the set of states reachable
+// from any state after exactly i transitions (union over all inputs at
+// every step).
+func (m *Machine) ReachableAfter(i int) []uint64 {
+	cur := m.AllStates()
+	for k := 0; k < i; k++ {
+		seen := make(map[uint64]bool)
+		var next []uint64
+		for _, s := range cur {
+			for in := uint64(0); in < m.NumInputs; in++ {
+				n, _ := m.step(s, in)
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		cur = next
+	}
+	sortU64(cur)
+	return cur
+}
+
+// RunFrom applies the sequence from a packed state, returning the final
+// state and the packed output at each cycle. Sequence vectors must be
+// binary.
+func (m *Machine) RunFrom(s uint64, seq sim.Seq) (uint64, []uint64) {
+	outs := make([]uint64, len(seq))
+	for t, v := range seq {
+		var o uint64
+		s, o = m.step(s, sim.PackVec(v))
+		outs[t] = o
+	}
+	return s, outs
+}
+
+func sortU64(a []uint64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,385 @@
+package stg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/retime"
+	"repro/internal/sim"
+)
+
+// pack interprets a state literal written like the paper (leftmost bit
+// is DFF 0) into the packed representation.
+func pack(s string) uint64 {
+	var w uint64
+	for i, r := range s {
+		if r == '1' {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// TestFig2Lemma1 reproduces the paper's Fig. 2 discussion: C1's STG has
+// no equivalent states, C2's STG has the equivalence classes {00} and
+// {01,10,11}, C1 ==s C2, with {00} equivalent to C1's {0} and the rest
+// to C1's {1}.
+func TestFig2Lemma1(t *testing.T) {
+	c1 := MustExtract(netlist.Fig2C1(), nil)
+	c2 := MustExtract(netlist.Fig2C2(), nil)
+
+	cls1, err := SelfClasses(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls1) != 2 {
+		t.Fatalf("C1 has %d classes, want 2 (no equivalent states)", len(cls1))
+	}
+	cls2, err := SelfClasses(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls2) != 2 {
+		t.Fatalf("C2 has %d classes, want 2", len(cls2))
+	}
+	sizes := map[int]bool{len(cls2[0]): true, len(cls2[1]): true}
+	if !sizes[1] || !sizes[3] {
+		t.Fatalf("C2 classes have sizes %d and %d, want 1 and 3", len(cls2[0]), len(cls2[1]))
+	}
+
+	eq, err := SpaceEquivalent(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("Lemma 1: C1 must be space-equivalent to C2")
+	}
+
+	p, err := JointEquivalence(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equivalent(pack("0"), pack("00")) {
+		t.Error("C2 state 00 must be equivalent to C1 state 0")
+	}
+	for _, s := range []string{"01", "10", "11"} {
+		if !p.Equivalent(pack("1"), pack(s)) {
+			t.Errorf("C2 state %s must be equivalent to C1 state 1", s)
+		}
+	}
+}
+
+// TestFig2Theorem1 checks Theorem 1 on the figure: <11> is a
+// structural-based synchronizing sequence for C1 and synchronizes C2 to
+// states equivalent to C1's final state.
+func TestFig2Theorem1(t *testing.T) {
+	c1n, c2n := netlist.Fig2C1(), netlist.Fig2C2()
+	seq := sim.ParseSeq("11")
+	if !IsStructuralSync(c1n, nil, seq) {
+		t.Fatal("<11> must structurally synchronize C1")
+	}
+	c1 := MustExtract(c1n, nil)
+	c2 := MustExtract(c2n, nil)
+	p, err := JointEquivalence(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := SyncState(c2n, nil, seq)
+	if sim.VecString(st) != "x1" {
+		t.Fatalf("C2 ternary state = %s", sim.VecString(st))
+	}
+	covered := CoveredStates(st)
+	if len(covered) != 2 {
+		t.Fatalf("covered = %v", covered)
+	}
+	for _, s := range covered {
+		if !p.Equivalent(pack("1"), s) {
+			t.Errorf("covered state %b not equivalent to C1 state 1", s)
+		}
+	}
+	// The reached set must itself be a set of equivalent states, i.e.
+	// <11> also synchronizes C2 in the paper's sense.
+	ok, err := IsFunctionalSync(c2, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("<11> must synchronize C2 to a set of equivalent states")
+	}
+}
+
+// TestFig3Containment reproduces the containment claims around Fig. 3:
+// a forward move across a fanout stem gives L2 >=s L1 but not
+// L1 >=s L2, and L1 >=1t L2 (time containment with N = F = 1).
+func TestFig3Containment(t *testing.T) {
+	l1 := MustExtract(netlist.Fig3L1(), nil)
+	l2 := MustExtract(netlist.Fig3L2(), nil)
+
+	if ok, _ := SpaceContains(l2, l1); !ok {
+		t.Error("L2 >=s L1 must hold (every L1 state has an equivalent in L2)")
+	}
+	if ok, _ := SpaceContains(l1, l2); ok {
+		t.Error("L1 >=s L2 must fail (inconsistent states 01/10 have no L1 equivalent)")
+	}
+	n, ok, err := TimeContains(l1, l2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || n != 1 {
+		t.Errorf("L1 >=Nt L2 with N = %d (ok=%v), want 1", n, ok)
+	}
+	// And the backward direction is immediate: B = 0.
+	n, ok, err = TimeContains(l2, l1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || n != 0 {
+		t.Errorf("L2 >=Nt L1 with N = %d (ok=%v), want 0", n, ok)
+	}
+}
+
+// TestFig3SyncSequences reproduces Observation 1, Example 1 and
+// Theorem 2 on the figure circuits.
+func TestFig3SyncSequences(t *testing.T) {
+	l1n, l2n := netlist.Fig3L1(), netlist.Fig3L2()
+	l1 := MustExtract(l1n, nil)
+	l2 := MustExtract(l2n, nil)
+	seq := sim.ParseSeq("11")
+
+	ok, err := IsFunctionalSync(l1, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("<11> must be a functional-based synchronizing sequence for L1")
+	}
+	if IsStructuralSync(l1n, nil, seq) {
+		t.Fatal("<11> must not be structural-based for L1")
+	}
+	if ok, _ := IsFunctionalSync(l2, seq); ok {
+		t.Fatal("Observation 1: <11> must not synchronize L2")
+	}
+	finals := FinalStates(l1, seq)
+	if len(finals) != 1 || finals[0] != pack("1") {
+		t.Fatalf("L1 finals = %v", finals)
+	}
+	// Theorem 2: every one-vector prefix fixes it, landing in {11}.
+	p, err := JointEquivalence(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"00", "01", "10", "11"} {
+		pseq := sim.ParseSeq(prefix + ",11")
+		ok, err := IsFunctionalSync(l2, pseq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("<%s,11> must synchronize L2", prefix)
+		}
+		finals := FinalStates(l2, pseq)
+		for _, s := range finals {
+			if s != pack("11") {
+				t.Fatalf("<%s,11> drives L2 to %v, want {11}", prefix, finals)
+			}
+			if !p.Equivalent(pack("1"), s) {
+				t.Fatalf("L2 final state %b not equivalent to L1 state 1", s)
+			}
+		}
+	}
+}
+
+func TestFunctionalSyncSearch(t *testing.T) {
+	l1 := MustExtract(netlist.Fig3L1(), nil)
+	seq, ok, err := FunctionalSync(l1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(seq) != 1 {
+		t.Fatalf("FunctionalSync(L1) = %v, %v", seq, ok)
+	}
+	if ok2, _ := IsFunctionalSync(l1, seq); !ok2 {
+		t.Fatal("found sequence does not synchronize")
+	}
+	// L2 is synchronizable too (e.g. <00> forces D = 0 everywhere); the
+	// search must find a shortest sequence that actually works.
+	l2 := MustExtract(netlist.Fig3L2(), nil)
+	seq2, ok, err := FunctionalSync(l2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("FunctionalSync(L2) found nothing")
+	}
+	if ok2, _ := IsFunctionalSync(l2, seq2); !ok2 {
+		t.Fatalf("found sequence %s does not synchronize L2", sim.SeqString(seq2))
+	}
+}
+
+func TestStructuralSyncSearch(t *testing.T) {
+	n1 := netlist.Fig5N1()
+	seq, ok, err := StructuralSync(n1, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("N1 must have a structural synchronizing sequence")
+	}
+	if !IsStructuralSync(n1, nil, seq) {
+		t.Fatal("found sequence does not synchronize")
+	}
+	// L1 does have a structural sequence (<00> forces D = 0); what the
+	// paper rules out is <11> specifically. The search must find a
+	// valid one-vector sequence that is not <11>.
+	l1 := netlist.Fig3L1()
+	seqL1, ok, err := StructuralSync(l1, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(seqL1) != 1 {
+		t.Fatalf("StructuralSync(L1) = %v, %v", seqL1, ok)
+	}
+	if sim.SeqString(seqL1) == "11" {
+		t.Fatal("<11> cannot be structural-based for L1")
+	}
+	if !IsStructuralSync(l1, nil, seqL1) {
+		t.Fatal("found L1 sequence does not synchronize")
+	}
+}
+
+// TestFig5Theorem3 verifies Lemma 4/5 and Theorem 3 behaviour on the
+// figure: the faulty retimed circuit is synchronized by prefix + I and
+// lands in a state equivalent to the faulty original's target.
+func TestFig5Theorem3(t *testing.T) {
+	n1, n2 := netlist.Fig5N1(), netlist.Fig5N2()
+	f1 := fault.Fault{Site: fault.Site{Node: n1.MustNodeID("G2"), Pin: 0}, SA: logic.One}
+	f2 := fault.Fault{Site: fault.Site{Node: n2.MustNodeID("Q12"), Pin: 0}, SA: logic.One}
+	seq := sim.ParseSeq("001,000")
+
+	if !IsStructuralSync(n1, &f1, seq) {
+		t.Fatal("faulty N1 must be synchronized by <001,000>")
+	}
+	if IsStructuralSync(n2, &f2, seq) {
+		t.Fatal("Observation 2: faulty N2 must not be synchronized by <001,000>")
+	}
+	// One arbitrary prefix vector fixes it (Theorem 3 with F = 1).
+	for _, prefix := range []string{"000", "010", "101", "111"} {
+		pseq := sim.ParseSeq(prefix + ",001,000")
+		if !IsStructuralSync(n2, &f2, pseq) {
+			t.Fatalf("faulty N2 must be synchronized by <%s,001,000>", prefix)
+		}
+		// The reached states must be equivalent across the two faulty
+		// machines.
+		m1 := MustExtract(n1, &f1)
+		m2 := MustExtract(n2, &f2)
+		p, err := JointEquivalence(m1, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q1 := SyncState(n1, &f1, seq)
+		q2 := SyncState(n2, &f2, pseq)
+		if !p.Equivalent(sim.PackVec(q1), sim.PackVec(q2)) {
+			t.Fatalf("faulty targets %s and %s not equivalent", sim.VecString(q1), sim.VecString(q2))
+		}
+	}
+}
+
+// TestLemma2Property is the randomized Lemma 2 check: for random legal
+// retimings, K' >=Bt K and K >=Ft K' where B and F are the maximum
+// backward/forward moves across fanout stems.
+func TestLemma2Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tested := 0
+	for iter := 0; iter < 60 && tested < 12; iter++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(2), Outputs: 1 + rng.Intn(2),
+			Gates: 3 + rng.Intn(10), DFFs: 1 + rng.Intn(3), MaxFanin: 3,
+		})
+		g := retime.FromCircuit(c)
+		r := g.RandomRetiming(rng, 8)
+		rg, err := g.Retime(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _, err := g.Materialize("orig")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, _, err := rg.Materialize("ret")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig.DFFs) > 8 || len(ret.DFFs) > 8 || len(orig.Inputs) > 3 {
+			continue
+		}
+		mo, err := Extract(orig, nil)
+		if err != nil {
+			continue
+		}
+		mr, err := Extract(ret, nil)
+		if err != nil {
+			continue
+		}
+		moves := g.AnalyzeMoves(r)
+		if _, ok, err := TimeContains(mr, mo, moves.MaxBackwardStem); err != nil || !ok {
+			t.Fatalf("%s: K' >=Bt K failed (B=%d, err=%v)", c.Name, moves.MaxBackwardStem, err)
+		}
+		if _, ok, err := TimeContains(mo, mr, moves.MaxForwardStem); err != nil || !ok {
+			t.Fatalf("%s: K >=Ft K' failed (F=%d, err=%v)", c.Name, moves.MaxForwardStem, err)
+		}
+		tested++
+	}
+	if tested < 5 {
+		t.Fatalf("only %d random instances fit the size guards", tested)
+	}
+}
+
+func TestExtractGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 25, Outputs: 1, Gates: 30, DFFs: 2, MaxFanin: 3,
+	})
+	if _, err := Extract(c, nil); err == nil {
+		t.Fatal("Extract must refuse 25-input circuits")
+	}
+}
+
+func TestReachableAfterShrinks(t *testing.T) {
+	m := MustExtract(netlist.Fig3L2(), nil)
+	k0 := m.ReachableAfter(0)
+	k1 := m.ReachableAfter(1)
+	if len(k0) != 4 {
+		t.Fatalf("K_0 = %v", k0)
+	}
+	// After one transition only consistent states (00, 11) remain.
+	if len(k1) != 2 || k1[0] != pack("00") || k1[1] != pack("11") {
+		t.Fatalf("K_1 = %v, want {00,11}", k1)
+	}
+}
+
+func TestCoveredStates(t *testing.T) {
+	got := CoveredStates(sim.ParseVec("x1x"))
+	// Q0 in {0,1}, Q1 = 1, Q2 in {0,1}: packed values with bit1 set.
+	if len(got) != 4 {
+		t.Fatalf("covered = %v", got)
+	}
+	for _, s := range got {
+		if s>>1&1 != 1 {
+			t.Fatalf("state %b should have bit 1 set", s)
+		}
+	}
+}
+
+func TestRunFrom(t *testing.T) {
+	m := MustExtract(netlist.Fig2C1(), nil)
+	end, outs := m.RunFrom(pack("0"), sim.ParseSeq("11,00"))
+	if end != pack("0") {
+		t.Fatalf("end state = %b", end)
+	}
+	if outs[0] != 0 || outs[1] != 1 {
+		t.Fatalf("outs = %v", outs)
+	}
+}

@@ -1,0 +1,212 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// IsFunctionalSync reports whether the sequence is a functional-based
+// synchronizing sequence for the machine: applied from every initial
+// state it ends in a single state or a set of mutually equivalent
+// states (the paper's definition of synchronization, after Hennie).
+func IsFunctionalSync(m *Machine, seq sim.Seq) (bool, error) {
+	p, err := JointEquivalence(m, m)
+	if err != nil {
+		return false, err
+	}
+	finals := finalStates(m, seq)
+	// ClassB == ClassA for a self partition; use AllEquivalentB.
+	return p.AllEquivalentB(finals), nil
+}
+
+// finalStates returns the set of states the machine can be in after the
+// sequence, starting from any state.
+func finalStates(m *Machine, seq sim.Seq) []uint64 {
+	cur := m.AllStates()
+	for _, v := range seq {
+		cur = m.Image(cur, sim.PackVec(v))
+	}
+	return cur
+}
+
+// FinalStates exposes the reachable-set computation for callers that
+// want the synchronization target itself (e.g. to check which state a
+// sequence synchronizes to).
+func FinalStates(m *Machine, seq sim.Seq) []uint64 { return finalStates(m, seq) }
+
+// FunctionalSync searches breadth-first over state subsets for a
+// shortest functional-based synchronizing sequence of length at most
+// maxLen. It requires at most 64 states (subsets are bitmasks).
+func FunctionalSync(m *Machine, maxLen int) (sim.Seq, bool, error) {
+	if m.NumStates > 64 {
+		return nil, false, fmt.Errorf("stg: subset search limited to 64 states, machine has %d", m.NumStates)
+	}
+	p, err := JointEquivalence(m, m)
+	if err != nil {
+		return nil, false, err
+	}
+	goal := func(set uint64) bool {
+		cl := -1
+		for s := uint64(0); s < m.NumStates; s++ {
+			if set>>s&1 == 0 {
+				continue
+			}
+			if cl < 0 {
+				cl = p.ClassA[s]
+			} else if p.ClassA[s] != cl {
+				return false
+			}
+		}
+		return true
+	}
+	full := uint64(1)<<m.NumStates - 1
+	if m.NumStates == 64 {
+		full = ^uint64(0)
+	}
+	type entry struct {
+		set uint64
+		seq []uint64 // packed input per step
+	}
+	if goal(full) {
+		return sim.Seq{}, true, nil
+	}
+	visited := map[uint64]bool{full: true}
+	frontier := []entry{{set: full}}
+	for depth := 0; depth < maxLen; depth++ {
+		var next []entry
+		for _, e := range frontier {
+			for in := uint64(0); in < m.NumInputs; in++ {
+				var img uint64
+				for s := uint64(0); s < m.NumStates; s++ {
+					if e.set>>s&1 != 0 {
+						n, _ := m.step(s, in)
+						img |= 1 << n
+					}
+				}
+				if visited[img] {
+					continue
+				}
+				visited[img] = true
+				seq2 := append(append([]uint64(nil), e.seq...), in)
+				if goal(img) {
+					out := make(sim.Seq, len(seq2))
+					for i, w := range seq2 {
+						out[i] = sim.UnpackVec(w, len(m.C.Inputs))
+					}
+					return out, true, nil
+				}
+				next = append(next, entry{img, seq2})
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return nil, false, nil
+}
+
+// IsStructuralSync reports whether the sequence synchronizes the
+// (optionally faulty) circuit under 3-valued simulation from the all-X
+// initial state: every flip-flop ends with a binary value. This is the
+// paper's structural-based notion.
+func IsStructuralSync(c *netlist.Circuit, f *fault.Fault, seq sim.Seq) bool {
+	m := fsim.NewMachine(c, f)
+	m.Run(seq)
+	return m.Synchronized()
+}
+
+// StructuralSync searches breadth-first over 3-valued states for a
+// shortest structural-based synchronizing sequence of length at most
+// maxLen, applying binary input vectors only. The search space is
+// 3^#DFF, so this is for small circuits.
+func StructuralSync(c *netlist.Circuit, f *fault.Fault, maxLen int) (sim.Seq, bool, error) {
+	if len(c.DFFs) > 16 || len(c.Inputs) > 12 {
+		return nil, false, fmt.Errorf("stg: circuit %q too wide for ternary search", c.Name)
+	}
+	mach := fsim.NewMachine(c, f)
+	start := ternaryKey(mach.State())
+	if sim.AllKnown(mach.State()) {
+		return sim.Seq{}, true, nil
+	}
+	ni := uint64(1) << uint(len(c.Inputs))
+	type entry struct {
+		state sim.Vec
+		seq   []uint64
+	}
+	visited := map[string]bool{start: true}
+	frontier := []entry{{state: mach.State()}}
+	for depth := 0; depth < maxLen; depth++ {
+		var next []entry
+		for _, e := range frontier {
+			for in := uint64(0); in < ni; in++ {
+				mach.SetState(e.state)
+				mach.Step(sim.UnpackVec(in, len(c.Inputs)))
+				st := mach.State()
+				key := ternaryKey(st)
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				seq2 := append(append([]uint64(nil), e.seq...), in)
+				if sim.AllKnown(st) {
+					out := make(sim.Seq, len(seq2))
+					for i, w := range seq2 {
+						out[i] = sim.UnpackVec(w, len(c.Inputs))
+					}
+					return out, true, nil
+				}
+				next = append(next, entry{st, seq2})
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return nil, false, nil
+}
+
+func ternaryKey(v sim.Vec) string {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		b[i] = byte('0' + x)
+	}
+	return string(b)
+}
+
+// SyncState runs the sequence on the (optionally faulty) circuit with
+// 3-valued simulation and returns the final ternary state.
+func SyncState(c *netlist.Circuit, f *fault.Fault, seq sim.Seq) sim.Vec {
+	m := fsim.NewMachine(c, f)
+	m.Run(seq)
+	return m.State()
+}
+
+// CoveredStates expands a ternary state vector into the set of binary
+// states it covers.
+func CoveredStates(v sim.Vec) []uint64 {
+	states := []uint64{0}
+	for i, x := range v {
+		switch x {
+		case logic.One:
+			for j := range states {
+				states[j] |= 1 << uint(i)
+			}
+		case logic.Zero:
+			// nothing
+		default:
+			n := len(states)
+			for j := 0; j < n; j++ {
+				states = append(states, states[j]|1<<uint(i))
+			}
+		}
+	}
+	sortU64(states)
+	return states
+}

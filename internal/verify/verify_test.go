@@ -1,0 +1,154 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/retime"
+)
+
+func TestExactFigurePairs(t *testing.T) {
+	cases := []struct {
+		a, b *netlist.Circuit
+		n    int
+	}{
+		{netlist.Fig2C1(), netlist.Fig2C2(), 0}, // space-equivalent (Lemma 1)
+		{netlist.Fig3L1(), netlist.Fig3L2(), 1}, // one forward stem move
+		{netlist.Fig5N1(), netlist.Fig5N2(), 1},
+	}
+	for _, tc := range cases {
+		res, err := Exact(tc.a, tc.b, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s vs %s: not equivalent", tc.a.Name, tc.b.Name)
+		}
+		if res.N > tc.n {
+			t.Errorf("%s vs %s: N = %d, want <= %d", tc.a.Name, tc.b.Name, res.N, tc.n)
+		}
+	}
+}
+
+func TestExactRejectsDifferentCircuits(t *testing.T) {
+	// C1 vs C1 with the output inverted: inequivalent.
+	c := netlist.Fig2C1()
+	bad, err := netlist.ParseBenchString("bad", `
+INPUT(A)
+INPUT(B)
+OUTPUT(Z)
+G1 = AND(A, B)
+G2 = NOT(Q)
+G3 = OR(G1, G2)
+Q = DFF(G3)
+Z = NOT(Q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exact(c, bad, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("inverted output accepted as equivalent")
+	}
+}
+
+func TestExactInterfaceMismatch(t *testing.T) {
+	if _, err := Exact(netlist.Fig2C1(), netlist.Fig5N1(), 3); err == nil {
+		t.Fatal("interface mismatch accepted")
+	}
+}
+
+func TestBoundedAcceptsRetimings(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for i := 0; i < 15; i++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 1 + rng.Intn(4), Outputs: 1 + rng.Intn(3),
+			Gates: 4 + rng.Intn(25), DFFs: 1 + rng.Intn(5), MaxFanin: 3,
+		})
+		g := retime.FromCircuit(c)
+		r := g.RandomRetiming(rng, 20)
+		rg, err := g.Retime(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _, err := g.Materialize("o")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, _, err := rg.Materialize("r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := g.AnalyzeMoves(r)
+		res, err := Retiming(orig, ret, m.MaxForward+m.MaxBackward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("%s: valid retiming rejected by %s engine (counterexample at %d)",
+				c.Name, res.Method, res.FailCycle)
+		}
+	}
+}
+
+func TestBoundedRejectsMutants(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	rejected := 0
+	for i := 0; i < 20; i++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs: 2 + rng.Intn(2), Outputs: 1 + rng.Intn(2),
+			Gates: 5 + rng.Intn(15), DFFs: rng.Intn(3), MaxFanin: 3,
+		})
+		// Mutate one gate's operation, restricted to gates that can
+		// actually influence an output (transitive fanin of the outputs,
+		// crossing registers).
+		mut := c.Clone()
+		observable := map[int]bool{}
+		for _, out := range mut.Outputs {
+			for _, id := range mut.FaninCone(out, false) {
+				observable[id] = true
+			}
+		}
+		var gates []int
+		for id := range mut.Nodes {
+			n := &mut.Nodes[id]
+			if observable[id] && n.Kind == netlist.KindGate &&
+				(n.Op == logic.OpAnd || n.Op == logic.OpOr) && len(n.Fanin) >= 2 {
+				gates = append(gates, id)
+			}
+		}
+		if len(gates) == 0 {
+			continue
+		}
+		id := gates[rng.Intn(len(gates))]
+		if mut.Nodes[id].Op == logic.OpAnd {
+			mut.Nodes[id].Op = logic.OpOr
+		} else {
+			mut.Nodes[id].Op = logic.OpAnd
+		}
+		opt := DefaultBoundedOptions(c, mut)
+		opt.Warmup = 0
+		opt.Trials = 64
+		res, err := Bounded(c, mut, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			rejected++
+			if res.Counterexample == nil || res.FailCycle < 0 {
+				t.Fatal("rejection without counterexample")
+			}
+		}
+	}
+	// An AND<->OR swap on an observable gate is usually (not always:
+	// surrounding logic can mask it) behaviourally visible; require a
+	// majority caught.
+	if rejected < 10 {
+		t.Fatalf("only %d/20 mutants rejected", rejected)
+	}
+}

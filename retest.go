@@ -1,0 +1,182 @@
+// Package retest is the public facade of the library: test set
+// preservation of retimed circuits, after El-Maleh, Marchok, Rajski and
+// Maly, "On Test Set Preservation of Retimed Circuits", DAC 1995.
+//
+// The library decomposes into focused subsystems under internal/ --
+// netlist modeling, 3-valued and fault simulation, Leiserson-Saxe
+// retiming, state-transition-graph analysis, FSM synthesis, and a
+// sequential structural ATPG -- and this package re-exports the
+// workflow a user needs:
+//
+//	c, _ := retest.ParseBenchFile("design.bench")
+//	pair, oldP, newP, _ := retest.MinPeriodPair(c)   // performance retiming
+//	res := retest.ATPG(pair.Original, retest.CollapsedFaults(pair.Original), retest.DefaultATPGOptions())
+//	derived := pair.DeriveTestSet(res.TestSet, retest.FillZeros, 0)
+//	cov := retest.FaultSimulate(pair.Retimed, retest.CollapsedFaults(pair.Retimed), derived)
+//
+// or, in the reverse (Fig. 6) direction, retest.RetimeForTestability
+// generates tests on a register-minimized version of an implemented
+// circuit and maps them back with the pre-determined prefix.
+package retest
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/fsmgen"
+	"repro/internal/netlist"
+	"repro/internal/retime"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// Core circuit and stimulus types.
+type (
+	// Circuit is a gate-level synchronous sequential circuit.
+	Circuit = netlist.Circuit
+	// Vec is one input or output vector; Seq is a vector sequence.
+	Vec = sim.Vec
+	Seq = sim.Seq
+	// Fault is a single stuck-at fault.
+	Fault = fault.Fault
+	// RetimedPair couples a circuit with a retimed version and carries
+	// the fault correspondence and prefix lengths of the paper.
+	RetimedPair = core.RetimedPair
+	// PreservationReport is the outcome of a Theorem 4 check.
+	PreservationReport = core.PreservationReport
+	// ATPGOptions tunes the sequential test generator.
+	ATPGOptions = atpg.Options
+	// ATPGResult is a test-generation outcome (tests, coverage, effort).
+	ATPGResult = atpg.Result
+	// FaultSimResult is a fault-simulation outcome.
+	FaultSimResult = fsim.Result
+	// Fig6Result is the outcome of the retime-for-testability flow.
+	Fig6Result = core.Fig6Result
+	// PrefixFill selects how arbitrary prefix vectors are filled.
+	PrefixFill = core.PrefixFill
+	// FSM is a KISS2 finite-state machine.
+	FSM = fsmgen.FSM
+	// RetimingGraph is the Leiserson-Saxe graph of a circuit.
+	RetimingGraph = retime.Graph
+)
+
+// Prefix fill modes (Theorem 4 permits arbitrary vectors).
+const (
+	FillZeros  = core.FillZeros
+	FillOnes   = core.FillOnes
+	FillRandom = core.FillRandom
+)
+
+// ParseBench reads a circuit in ISCAS-89 bench format.
+func ParseBench(name string, r io.Reader) (*Circuit, error) { return netlist.ParseBench(name, r) }
+
+// ParseBenchFile reads a bench file from disk.
+func ParseBenchFile(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return netlist.ParseBench(path, f)
+}
+
+// WriteBench writes a circuit in bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return netlist.WriteBench(w, c) }
+
+// ParseSeq parses comma-separated vector literals such as "001,000".
+func ParseSeq(s string) Seq { return sim.ParseSeq(s) }
+
+// CollapsedFaults returns one representative per structural fault
+// equivalence class.
+func CollapsedFaults(c *Circuit) []Fault {
+	reps, _ := fault.Collapse(c)
+	return reps
+}
+
+// MinPeriodPair retimes the circuit for minimum clock period and
+// returns the pair plus the periods before and after -- the
+// performance-driven direction whose test cost Table II measures.
+func MinPeriodPair(c *Circuit) (*RetimedPair, int, int, error) { return core.MinPeriodPair(c) }
+
+// BuildPair materializes both sides of a retiming over a graph
+// obtained from Graph.
+func BuildPair(g *RetimingGraph, r retime.Retiming, origName, retName string) (*RetimedPair, error) {
+	return core.BuildPair(g, r, origName, retName)
+}
+
+// Graph converts a circuit to its retiming graph for custom retimings.
+func Graph(c *Circuit) *RetimingGraph { return retime.FromCircuit(c) }
+
+// DefaultATPGOptions returns the generator settings the experiment
+// harness uses.
+func DefaultATPGOptions() ATPGOptions { return atpg.DefaultOptions() }
+
+// ATPG runs the sequential structural test generator.
+func ATPG(c *Circuit, faults []Fault, opt ATPGOptions) *ATPGResult { return atpg.Run(c, faults, opt) }
+
+// FaultSimulate fault-simulates a test sequence from the all-X initial
+// state and reports detections.
+func FaultSimulate(c *Circuit, faults []Fault, seq Seq) *FaultSimResult {
+	return fsim.Run(c, faults, seq)
+}
+
+// CoverageCurve returns cumulative fault detections after each vector.
+func CoverageCurve(c *Circuit, faults []Fault, seq Seq) []int {
+	return fsim.CoverageCurve(c, faults, seq)
+}
+
+// CompactTests drops test subsequences that contribute no detections,
+// returning the compacted list (see atpg.CompactTests).
+func CompactTests(c *Circuit, faults []Fault, tests []Seq) []Seq {
+	return atpg.CompactTests(c, faults, tests)
+}
+
+// RetimeForTestability runs the paper's Fig. 6 technique on an
+// implemented circuit: ATPG on a register-minimized retiming, then a
+// derived (prefixed) test set for the implementation.
+func RetimeForTestability(impl *Circuit, opt ATPGOptions) (*Fig6Result, error) {
+	return core.Fig6Flow(impl, opt)
+}
+
+// VerifyRetiming checks that retimed behaves as a retiming of original:
+// exact state-transition-graph equivalence when both machines are small
+// enough, bounded 3-valued co-simulation otherwise. lagBound is the
+// maximum number of atomic moves of the retiming.
+func VerifyRetiming(original, retimed *Circuit, lagBound int) (*verify.Result, error) {
+	return verify.Retiming(original, retimed, lagBound)
+}
+
+// ScanATPG generates full-scan (combinational) tests -- the
+// design-for-testability baseline whose silicon cost the paper's
+// technique avoids.
+func ScanATPG(c *Circuit, faults []Fault, opt ATPGOptions) *atpg.ScanResult {
+	return atpg.RunScan(c, faults, opt)
+}
+
+// GeneticATPG runs the simulation-based (GATEST-style) sequential test
+// generator, the structural engine's classical alternative.
+func GeneticATPG(c *Circuit, faults []Fault, opt atpg.GeneticOptions) *ATPGResult {
+	return atpg.RunGenetic(c, faults, opt)
+}
+
+// ParseKISS2 reads a KISS2 FSM description.
+func ParseKISS2(name string, r io.Reader) (*FSM, error) { return fsmgen.ParseKISS2(name, r) }
+
+// SynthesizeFSM compiles an FSM to a gate-level circuit using the named
+// state encoding ("ji", "jo", "jc") and synthesis script ("sd", "sr"),
+// optionally with an explicit reset line.
+func SynthesizeFSM(f *FSM, encoding, script string, reset bool) (*Circuit, error) {
+	enc, ok := fsmgen.ParseEncoding(encoding)
+	if !ok {
+		enc = fsmgen.EncInput
+	}
+	scr, ok2 := fsmgen.ParseScript(script)
+	if !ok2 {
+		scr = fsmgen.ScriptDelay
+	}
+	return fsmgen.Synthesize(f, fsmgen.SynthOptions{Encoding: enc, Script: scr, Reset: reset})
+}

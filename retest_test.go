@@ -1,0 +1,104 @@
+package retest
+
+import (
+	"strings"
+	"testing"
+)
+
+const toy = `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g = AND(a, q)
+q = DFF(g)
+z = OR(g, b)
+`
+
+func TestFacadeWorkflow(t *testing.T) {
+	c, err := ParseBench("toy", strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, before, after, err := MinPeriodPair(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < after {
+		t.Fatalf("periods %d -> %d", before, after)
+	}
+	opt := DefaultATPGOptions()
+	opt.RandomCount = 4
+	opt.RandomLength = 16
+	faults := CollapsedFaults(pair.Original)
+	if len(faults) == 0 {
+		t.Fatal("no faults")
+	}
+	res := ATPG(pair.Original, faults, opt)
+	rep, err := pair.CheckPreservation(res.TestSet, FillZeros, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %d", len(rep.Violations))
+	}
+	derived := pair.DeriveTestSet(res.TestSet, FillRandom, 1)
+	fr := FaultSimulate(pair.Retimed, CollapsedFaults(pair.Retimed), derived)
+	if fr.Coverage() < 0 {
+		t.Fatal("nonsense coverage")
+	}
+}
+
+func TestFacadeBenchIO(t *testing.T) {
+	c, err := ParseBench("toy", strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "DFF(g)") {
+		t.Fatalf("bench output:\n%s", sb.String())
+	}
+	if got := len(ParseSeq("01,10")); got != 2 {
+		t.Fatalf("ParseSeq = %d", got)
+	}
+}
+
+func TestFacadeFSMSynthesis(t *testing.T) {
+	f, err := ParseKISS2("tiny", strings.NewReader(`
+.i 1
+.o 1
+.r a
+0 a a 0
+1 a b 1
+- b a 0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SynthesizeFSM(f, "jo", "sr", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 2 { // rst + 1
+		t.Fatalf("inputs = %d", len(c.Inputs))
+	}
+}
+
+func TestFacadeFig6(t *testing.T) {
+	c, err := ParseBench("toy", strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultATPGOptions()
+	opt.RandomCount = 4
+	opt.RandomLength = 16
+	out, err := RetimeForTestability(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ImplCoverage() < 0 || out.ImplCoverage() > 100 {
+		t.Fatal("bad coverage")
+	}
+}
