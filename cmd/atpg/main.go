@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/atpg"
@@ -14,24 +15,33 @@ import (
 	"repro/internal/sim"
 )
 
-func main() {
-	frames := flag.Int("frames", 10, "maximum time frames")
-	backtracks := flag.Int("backtracks", 200, "PODEM backtrack limit per fault")
-	budget := flag.Int64("budget", 2_000_000, "gate-evaluation budget per fault (0 = unlimited)")
-	random := flag.Bool("random", true, "run the random-sequence pre-phase")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: atpg [flags] in.bench\n")
-		flag.PrintDefaults()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses the arguments and dispatches; exit code 2 marks a
+// usage error (unknown flag, wrong operand count), 1 a runtime failure.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	frames := fs.Int("frames", 10, "maximum time frames")
+	backtracks := fs.Int("backtracks", 200, "PODEM backtrack limit per fault")
+	budget := fs.Int64("budget", 2_000_000, "gate-evaluation budget per fault (0 = unlimited)")
+	random := fs.Bool("random", true, "run the random-sequence pre-phase")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: atpg [flags] in.bench\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if err := run(flag.Arg(0), *frames, *backtracks, *budget, *random); err != nil {
-		fmt.Fprintln(os.Stderr, "atpg:", err)
-		os.Exit(1)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
+	if err := run(fs.Arg(0), *frames, *backtracks, *budget, *random); err != nil {
+		fmt.Fprintln(stderr, "atpg:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(path string, frames, backtracks int, budget int64, random bool) error {

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCLIMainErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"unknown table", []string{"-table", "9"}, 2},
+		{"stray operand", []string{"stray"}, 2},
+		{"bad budget value", []string{"-budget", "x"}, 2},
+	}
+	for _, c := range cases {
+		var errw bytes.Buffer
+		if got := cliMain(c.args, &errw); got != c.code {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, got, c.code, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: nothing on stderr", c.name)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,12 +24,37 @@ import (
 	"repro/internal/fault"
 )
 
-func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1 | 2 | 3 | all")
-	fig6 := flag.Bool("fig6", false, "also run the Fig. 6 flow experiment")
-	only := flag.String("only", "", "restrict to circuits whose name contains this substring")
-	budget := flag.Int64("budget", 0, "override total gate-evaluation budget per ATPG run (0 = default)")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain validates the arguments before dispatching; exit code 2 marks
+// a usage error (unknown flag, unknown table, stray operands), 1 a
+// runtime failure.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all", "which table to regenerate: 1 | 2 | 3 | all")
+	fig6 := fs.Bool("fig6", false, "also run the Fig. 6 flow experiment")
+	only := fs.String("only", "", "restrict to circuits whose name contains this substring")
+	budget := fs.Int64("budget", 0, "override total gate-evaluation budget per ATPG run (0 = default)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: experiments [-table 1|2|3|all] [-fig6] [-only substr] [-budget n]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected operand %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+	switch *table {
+	case "1", "2", "3", "all":
+	default:
+		fmt.Fprintf(stderr, "experiments: unknown table %q\n", *table)
+		fs.Usage()
+		return 2
+	}
 
 	opt := atpg.DefaultOptions()
 	if *budget > 0 {
@@ -45,14 +71,12 @@ func main() {
 		fatal(experiments.Table1(os.Stdout))
 		fmt.Println()
 		runTables(opt, *only, true, true)
-	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown table %q\n", *table)
-		os.Exit(2)
 	}
 	if *fig6 {
 		fmt.Println()
 		runFig6(opt)
 	}
+	return 0
 }
 
 func fatal(err error) {

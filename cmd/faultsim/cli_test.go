@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIMainErrorPaths(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.bench")
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"no operands", nil, 2},
+		{"too many operands", []string{"a.bench", "b.bench"}, 2},
+		{"missing input file", []string{missing}, 1},
+		{"missing tests file", []string{"-tests", missing, missing}, 1},
+	}
+	for _, c := range cases {
+		var errw bytes.Buffer
+		if got := cliMain(c.args, &errw); got != c.code {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, got, c.code, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: nothing on stderr", c.name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -16,22 +17,31 @@ import (
 	"repro/internal/sim"
 )
 
-func main() {
-	tests := flag.String("tests", "", "test set file (default: stdin)")
-	list := flag.Bool("undetected", false, "list undetected faults")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: faultsim [-tests vectors.txt] [-undetected] in.bench\n")
-		flag.PrintDefaults()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses the arguments and dispatches; exit code 2 marks a
+// usage error (unknown flag, wrong operand count), 1 a runtime failure.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.String("tests", "", "test set file (default: stdin)")
+	list := fs.Bool("undetected", false, "list undetected faults")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: faultsim [-tests vectors.txt] [-undetected] in.bench\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if err := run(flag.Arg(0), *tests, *list); err != nil {
-		fmt.Fprintln(os.Stderr, "faultsim:", err)
-		os.Exit(1)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
+	if err := run(fs.Arg(0), *tests, *list); err != nil {
+		fmt.Fprintln(stderr, "faultsim:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(path, testsPath string, listUndet bool) error {

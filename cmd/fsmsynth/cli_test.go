@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIMainErrorPaths(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.kiss2")
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"no input at all", nil, 2},
+		{"too many operands", []string{"a.kiss2", "b.kiss2"}, 2},
+		{"benchmark and file together", []string{"-benchmark", "dk16", "a.kiss2"}, 2},
+		{"missing kiss2 file", []string{missing}, 1},
+		{"unknown benchmark", []string{"-benchmark", "zz99"}, 1},
+		{"unknown encoding", []string{"-benchmark", "dk16", "-encoding", "xx"}, 1},
+	}
+	for _, c := range cases {
+		var errw bytes.Buffer
+		if got := cliMain(c.args, &errw); got != c.code {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, got, c.code, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: nothing on stderr", c.name)
+		}
+	}
+}

@@ -7,27 +7,53 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/fsmgen"
 	"repro/internal/netlist"
 )
 
-func main() {
-	bench := flag.String("benchmark", "", "built-in benchmark name instead of a KISS2 file")
-	enc := flag.String("encoding", "ji", "state encoding: ji | jo | jc")
-	script := flag.String("script", "sd", "synthesis script: sd | sr")
-	reset := flag.Bool("reset", false, "add an explicit reset line (forced for benchmarks that used one)")
-	kissOut := flag.Bool("kiss", false, "emit the FSM as KISS2 instead of synthesizing")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fsmsynth [flags] [machine.kiss2]\n")
-		flag.PrintDefaults()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses the arguments and dispatches; exit code 2 marks a
+// usage error (unknown flag, stray operands, no input, or both inputs
+// at once), 1 a runtime failure.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsmsynth", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("benchmark", "", "built-in benchmark name instead of a KISS2 file")
+	enc := fs.String("encoding", "ji", "state encoding: ji | jo | jc")
+	script := fs.String("script", "sd", "synthesis script: sd | sr")
+	reset := fs.Bool("reset", false, "add an explicit reset line (forced for benchmarks that used one)")
+	kissOut := fs.Bool("kiss", false, "emit the FSM as KISS2 instead of synthesizing")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: fsmsynth [flags] [machine.kiss2]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if err := run(*bench, flag.Arg(0), *enc, *script, *reset, *kissOut); err != nil {
-		fmt.Fprintln(os.Stderr, "fsmsynth:", err)
-		os.Exit(1)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if fs.NArg() > 1 {
+		fmt.Fprintf(stderr, "fsmsynth: too many operands\n")
+		fs.Usage()
+		return 2
+	}
+	if *bench == "" && fs.NArg() == 0 {
+		fmt.Fprintf(stderr, "fsmsynth: need -benchmark or a KISS2 file\n")
+		fs.Usage()
+		return 2
+	}
+	if *bench != "" && fs.NArg() == 1 {
+		fmt.Fprintf(stderr, "fsmsynth: -benchmark and a KISS2 file are mutually exclusive\n")
+		fs.Usage()
+		return 2
+	}
+	if err := run(*bench, fs.Arg(0), *enc, *script, *reset, *kissOut); err != nil {
+		fmt.Fprintln(stderr, "fsmsynth:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(benchName, kissPath, encName, scrName string, reset, kissOut bool) error {

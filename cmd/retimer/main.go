@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -16,22 +17,37 @@ import (
 	"repro/internal/retime"
 )
 
-func main() {
-	mode := flag.String("mode", "period", "objective: period | registers")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: retimer [-mode period|registers] [-o out.bench] in.bench\n")
-		flag.PrintDefaults()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses the arguments and dispatches; exit code 2 marks a
+// usage error (unknown flag, bad mode, wrong operand count), 1 a
+// runtime failure.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("retimer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "period", "objective: period | registers")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: retimer [-mode period|registers] [-o out.bench] in.bench\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if err := run(flag.Arg(0), *mode, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "retimer:", err)
-		os.Exit(1)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
+	if *mode != "period" && *mode != "registers" {
+		fmt.Fprintf(stderr, "retimer: unknown mode %q\n", *mode)
+		fs.Usage()
+		return 2
+	}
+	if err := run(fs.Arg(0), *mode, *out); err != nil {
+		fmt.Fprintln(stderr, "retimer:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(path, mode, out string) error {

@@ -1,0 +1,85 @@
+// Command servd serves the retime-for-test job service over HTTP.
+//
+// Endpoints:
+//
+//	POST /v1/jobs        submit a job (JSON service.Request); returns {"id": ...}
+//	GET  /v1/jobs        list jobs, newest first
+//	GET  /v1/jobs/{id}   poll one job's status and result
+//	GET  /healthz        liveness probe
+//	GET  /metrics        the metrics registry as one JSON object
+//
+// Circuits are submitted as ISCAS-89 bench text in the request body;
+// see the README section "Running the service" for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() { os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("servd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "job queue depth")
+	timeout := fs.Duration("timeout", 60*time.Second, "default per-job timeout")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	if err := serve(*addr, *workers, *queue, *timeout, stdout); err != nil {
+		fmt.Fprintln(stderr, "servd:", err)
+		return 1
+	}
+	return 0
+}
+
+func serve(addr string, workers, queue int, timeout time.Duration, stdout io.Writer) error {
+	svc := service.New(service.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{Addr: addr, Handler: newHandler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "servd listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(stdout, "servd: shut down")
+		return nil
+	}
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/netlist"
@@ -14,21 +15,31 @@ import (
 	"repro/internal/verify"
 )
 
-func main() {
-	lag := flag.Int("lag", 8, "maximum atomic-move count of the retiming (warm-up bound)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: verifyretime [-lag n] original.bench retimed.bench\n")
-		flag.PrintDefaults()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses the arguments and dispatches; exit code 2 marks a
+// usage error (unknown flag, wrong operand count), 1 a runtime failure.
+// run itself exits 3 when the circuits are not equivalent.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("verifyretime", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	lag := fs.Int("lag", 8, "maximum atomic-move count of the retiming (warm-up bound)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: verifyretime [-lag n] original.bench retimed.bench\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *lag); err != nil {
-		fmt.Fprintln(os.Stderr, "verifyretime:", err)
-		os.Exit(1)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
 	}
+	if err := run(fs.Arg(0), fs.Arg(1), *lag); err != nil {
+		fmt.Fprintln(stderr, "verifyretime:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(origPath, retPath string, lag int) error {

@@ -1,0 +1,41 @@
+package retest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/netlist"
+)
+
+// TestFacadeJobService drives the re-exported job service end to end:
+// a DeriveTests job on the paper's Fig. 5 circuit through the public
+// facade, with metrics landing in a caller-owned registry.
+func TestFacadeJobService(t *testing.T) {
+	reg := NewMetricsRegistry()
+	svc := NewJobService(JobServiceConfig{Workers: 2, Metrics: reg})
+	defer svc.Close()
+
+	id, err := svc.Submit(JobRequest{
+		Kind:  JobDeriveTests,
+		Bench: netlist.BenchString(netlist.Fig5N2()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v, err := svc.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != "done" {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	if v.Result.Derive == nil || len(v.Result.Derive.Derived) == 0 {
+		t.Fatal("no derived test set in result")
+	}
+	if reg.Counter("jobs.done.derive_tests").Value() != 1 {
+		t.Fatal("caller-owned registry did not record the job")
+	}
+}

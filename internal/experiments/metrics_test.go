@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/metrics"
+)
+
+// TestSetMetricsInstrumentsRunVariant checks the harness records every
+// pipeline stage into an attached registry and goes quiet when
+// detached.
+func TestSetMetricsInstrumentsRunVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full variant run")
+	}
+	reg := metrics.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	opt := atpg.DefaultOptions()
+	opt.RandomCount = 8
+	opt.RandomLength = 32
+	opt.MaxEvalsPerFault = 50_000
+	opt.MaxEvalsTotal = 2_000_000
+	if _, err := RunVariant(TableIIVariants()[0], opt, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"synthesize", "retime", "atpg.original", "preservation"} {
+		if reg.Histogram("experiments."+stage+".latency").Count() != 1 {
+			t.Errorf("stage %s not observed", stage)
+		}
+	}
+	if reg.Histogram("experiments.atpg.retimed.latency").Count() != 0 {
+		t.Error("retimed ATPG observed despite withRetimedATPG=false")
+	}
+}
+
+// TestSetMetricsNil ensures detaching really detaches.
+func TestSetMetricsNil(t *testing.T) {
+	SetMetrics(nil)
+	if err := observe("noop", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,9 @@ package fsim
 
 import (
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -46,9 +49,27 @@ func (r *Result) Coverage() float64 {
 	return 100 * float64(len(r.DetectedAt)) / float64(len(r.Faults))
 }
 
+// ParallelThreshold is the fault-list size above which Run spreads the
+// 63-fault groups across goroutines. Below it the goroutine and engine
+// setup overhead dominates, so the sequential path is used.
+const ParallelThreshold = 2 * GroupWidth
+
 // Run fault-simulates the test sequence over the fault list from the
-// all-X initial state using the fault-parallel engine.
+// all-X initial state using the fault-parallel engine. Large fault
+// lists are spread across GOMAXPROCS goroutines (one 63-fault word-pair
+// group at a time); the result is identical to RunSequential because
+// the groups are mutually independent.
 func Run(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
+	if len(faults) > ParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		return RunParallel(c, faults, seq)
+	}
+	return RunSequential(c, faults, seq)
+}
+
+// RunSequential fault-simulates group by group on the calling
+// goroutine. It is the reference implementation the concurrent path
+// must match bit for bit.
+func RunSequential(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
 	res := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
 	eng := newEngine(c)
 	for start := 0; start < len(faults); start += GroupWidth {
@@ -57,6 +78,54 @@ func Run(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
 			end = len(faults)
 		}
 		eng.runGroup(faults[start:end], seq, res)
+	}
+	return res
+}
+
+// RunParallel fault-simulates with one worker goroutine per processor,
+// each owning a private engine and draining 63-fault groups from a
+// shared index. A group writes DetectedAt entries only for its own
+// faults, so per-worker partial results merge without conflicts and
+// DetectedAt is identical to the sequential run for every fault.
+func RunParallel(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
+	res := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
+	groups := (len(faults) + GroupWidth - 1) / GroupWidth
+	workers := runtime.GOMAXPROCS(0)
+	if workers > groups {
+		workers = groups
+	}
+	if workers < 1 {
+		return res
+	}
+	partial := make([]map[fault.Fault]int, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
+			eng := newEngine(c)
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= groups {
+					break
+				}
+				start := g * GroupWidth
+				end := start + GroupWidth
+				if end > len(faults) {
+					end = len(faults)
+				}
+				eng.runGroup(faults[start:end], seq, local)
+			}
+			partial[w] = local.DetectedAt
+		}(w)
+	}
+	wg.Wait()
+	for _, m := range partial {
+		for f, t := range m {
+			res.DetectedAt[f] = t
+		}
 	}
 	return res
 }

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs") != c {
+		t.Fatal("lookup did not return the same counter")
+	}
+	if c.String() != "5" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(10)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(500 * time.Nanosecond) // bucket 1µs
+	h.Observe(2 * time.Millisecond)  // bucket 10ms
+	h.Observe(3 * time.Millisecond)  // bucket 10ms
+	h.Observe(30 * time.Second)      // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 30*time.Second {
+		t.Fatalf("max = %v", h.Max())
+	}
+	want := (500*time.Nanosecond + 5*time.Millisecond + 30*time.Second) / 4
+	if h.Mean() != want {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(h.String()), &m); err != nil {
+		t.Fatalf("histogram String is not JSON: %v\n%s", err, h.String())
+	}
+	buckets := m["buckets"].(map[string]any)
+	if buckets["10ms"].(float64) != 2 {
+		t.Fatalf("10ms bucket = %v, want 2", buckets["10ms"])
+	}
+	if buckets["+Inf"].(float64) != 1 {
+		t.Fatalf("+Inf bucket = %v, want 1", buckets["+Inf"])
+	}
+}
+
+func TestObserveTimesAndPropagatesError(t *testing.T) {
+	r := NewRegistry()
+	sentinel := errors.New("boom")
+	if err := r.Observe("stage.x", func() error { return sentinel }); err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if r.Histogram("stage.x").Count() != 1 {
+		t.Fatal("observation not recorded")
+	}
+}
+
+func TestWriteJSONIsValidAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Inc()
+	r.Gauge("a.depth").Set(7)
+	r.Histogram("c.lat").Observe(time.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("WriteJSON output is not JSON: %v\n%s", err, out)
+	}
+	if len(m) != 3 {
+		t.Fatalf("got %d metrics, want 3", len(m))
+	}
+	if strings.Index(out, `"a.depth"`) > strings.Index(out, `"b.count"`) {
+		t.Fatal("metrics not in name order")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n").Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", r.Counter("n").Value())
+	}
+	if r.Histogram("h").Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", r.Histogram("h").Count())
+	}
+}

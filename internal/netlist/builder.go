@@ -89,11 +89,16 @@ func (b *Builder) Build() (*Circuit, error) {
 			c.Nodes[id].Fanin = append(c.Nodes[id].Fanin, src)
 		}
 	}
+	seenOut := make(map[string]bool, len(b.outputs))
 	for _, out := range b.outputs {
 		id, ok := byName[out]
 		if !ok {
 			return nil, fmt.Errorf("netlist: output references undeclared signal %q", out)
 		}
+		if seenOut[out] {
+			return nil, fmt.Errorf("netlist: duplicate output %q", out)
+		}
+		seenOut[out] = true
 		c.Outputs = append(c.Outputs, id)
 	}
 	if err := c.rebuild(); err != nil {

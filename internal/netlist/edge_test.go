@@ -87,18 +87,20 @@ OUTPUT(a)
 }
 
 func TestDuplicateOutputDeclaration(t *testing.T) {
-	// The same signal observed twice: two output positions.
-	c, err := ParseBenchString("dup2", `
+	// The same signal observed twice is rejected: a duplicate output
+	// position adds no observability and silently widens every output
+	// vector downstream.
+	_, err := ParseBenchString("dup2", `
 INPUT(a)
 OUTPUT(z)
 OUTPUT(z)
 z = NOT(a)
 `)
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		t.Fatal("duplicate output accepted")
 	}
-	if len(c.Outputs) != 2 {
-		t.Fatalf("outputs = %d", len(c.Outputs))
+	if !strings.Contains(err.Error(), `duplicate output "z"`) {
+		t.Fatalf("error %q does not name the duplicate output", err)
 	}
 }
 

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/retime"
+	"repro/internal/sim"
+)
+
+// execute runs the request's pipeline, one instrumented stage at a
+// time. Every stage is a plain library call with deterministic options,
+// so the result matches the equivalent direct call exactly.
+func (s *Service) execute(ctx context.Context, req *Request) (*Result, error) {
+	var c *netlist.Circuit
+	if err := s.stage(ctx, "parse", func() error {
+		var err error
+		c, err = netlist.ParseBenchString("job", req.Bench)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case KindRetime:
+		return s.execRetime(ctx, req, c)
+	case KindATPG:
+		return s.execATPG(ctx, req, c)
+	case KindFaultSim:
+		return s.execFaultSim(ctx, req, c)
+	case KindDeriveTests:
+		return s.execDerive(ctx, req, c)
+	}
+	return nil, fmt.Errorf("service: unknown job kind %q", req.Kind)
+}
+
+func (s *Service) execRetime(ctx context.Context, req *Request, c *netlist.Circuit) (*Result, error) {
+	out := &RetimeResult{}
+	err := s.stage(ctx, "retime", func() error {
+		g := retime.FromCircuit(c)
+		switch req.Mode {
+		case "registers":
+			r, _, err := g.MinRegisters()
+			if err != nil {
+				r = g.ReduceRegisters(g.Zero(), math.MaxInt)
+			}
+			pair, err := core.BuildPair(g, r, c.Name, c.Name+".min")
+			if err != nil {
+				return err
+			}
+			out.RegistersBefore = g.Registers()
+			out.RegistersAfter = g.RegistersAfter(r)
+			out.Bench = netlist.BenchString(pair.Retimed)
+			out.PrefixTests = pair.PrefixLengthTests()
+			out.PrefixSync = pair.PrefixLengthFaultFree()
+		default: // "period"
+			pair, before, after, err := core.MinPeriodPair(c)
+			if err != nil {
+				return err
+			}
+			out.PeriodBefore = before
+			out.PeriodAfter = after
+			out.Bench = netlist.BenchString(pair.Retimed)
+			out.PrefixTests = pair.PrefixLengthTests()
+			out.PrefixSync = pair.PrefixLengthFaultFree()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Retime: out}, nil
+}
+
+func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit) (*Result, error) {
+	var faults []fault.Fault
+	if err := s.stage(ctx, "collapse", func() error {
+		faults, _ = fault.Collapse(c)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var res *atpg.Result
+	if err := s.stage(ctx, "atpg", func() error {
+		res = atpg.Run(c, faults, req.ATPG.Options())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	det, red, ab := res.Counts()
+	out := &ATPGResult{
+		Faults:          len(faults),
+		Detected:        det,
+		Redundant:       red,
+		Aborted:         ab,
+		FaultCoverage:   res.FaultCoverage(),
+		FaultEfficiency: res.FaultEfficiency(),
+		Vectors:         vecStrings(res.TestSet),
+		Sequences:       len(res.Tests),
+		Evals:           res.Effort.Evals,
+	}
+	return &Result{ATPG: out}, nil
+}
+
+func (s *Service) execFaultSim(ctx context.Context, req *Request, c *netlist.Circuit) (*Result, error) {
+	seq := sim.ParseSeq(req.Tests)
+	for _, v := range seq {
+		if len(v) != len(c.Inputs) {
+			return nil, fmt.Errorf("service: vector %q has %d bits, circuit has %d inputs",
+				sim.VecString(v), len(v), len(c.Inputs))
+		}
+	}
+	var faults []fault.Fault
+	if err := s.stage(ctx, "collapse", func() error {
+		faults, _ = fault.Collapse(c)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var res *fsim.Result
+	if err := s.stage(ctx, "fsim", func() error {
+		res = fsim.Run(c, faults, seq)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &FaultSimResult{
+		Faults:   len(faults),
+		Detected: res.Detected(),
+		Coverage: res.Coverage(),
+		Vectors:  len(seq),
+	}
+	for _, f := range res.Undetected() {
+		out.Undetected = append(out.Undetected, f.Name(c))
+	}
+	return &Result{FaultSim: out}, nil
+}
+
+func (s *Service) execDerive(ctx context.Context, req *Request, c *netlist.Circuit) (*Result, error) {
+	// Fig6Flow bundles retime+ATPG+derive+fsim; run it as one "fig6"
+	// stage and re-check the deadline before the final bookkeeping.
+	fill, err := parseFill(req.Fill)
+	if err != nil {
+		return nil, err
+	}
+	var flow *core.Fig6Result
+	if err := s.stage(ctx, "fig6", func() error {
+		var err error
+		flow, err = core.Fig6Flow(c, req.ATPG.Options())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	derived := flow.Derived
+	if fill != core.FillZeros {
+		// Fig6Flow derives with zero fill; rebuild the prefix with the
+		// requested fill (Theorem 4 permits any) and re-simulate.
+		derived = flow.Pair.DeriveTestSet(flow.EasyATPG.TestSet, fill, req.Seed)
+		if err := s.stage(ctx, "fsim", func() error {
+			flow.ImplResult = fsim.Run(flow.Pair.Retimed, flow.ImplFaults, derived)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out := &DeriveResult{
+		EasyDFFs:     len(flow.Pair.Original.DFFs),
+		ImplDFFs:     len(flow.Pair.Retimed.DFFs),
+		Prefix:       flow.Pair.PrefixLengthTests(),
+		EasyCoverage: flow.EasyATPG.FaultCoverage(),
+		Derived:      vecStrings(derived),
+		ImplFaults:   len(flow.ImplFaults),
+		ImplDetected: flow.ImplResult.Detected(),
+		ImplCoverage: flow.ImplResult.Coverage(),
+	}
+	return &Result{Derive: out}, nil
+}
+
+func vecStrings(seq sim.Seq) []string {
+	out := make([]string, len(seq))
+	for i, v := range seq {
+		out[i] = sim.VecString(v)
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+)
+
+// Kind selects which retime-for-test workload a job runs. DeriveTests
+// is the paper's full Fig. 6 pipeline as a single job: retime the
+// submitted implementation for testability, ATPG on the easy circuit,
+// map the test set back with the Theorem 4 prefix, and fault-simulate
+// the derived set on the implementation.
+type Kind string
+
+// Job kinds.
+const (
+	KindRetime      Kind = "retime"
+	KindATPG        Kind = "atpg"
+	KindFaultSim    Kind = "fault_sim"
+	KindDeriveTests Kind = "derive_tests"
+)
+
+// Kinds lists every valid job kind.
+func Kinds() []Kind { return []Kind{KindRetime, KindATPG, KindFaultSim, KindDeriveTests} }
+
+func validKind(k Kind) bool {
+	for _, v := range Kinds() {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job statuses.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Request describes one job. Circuits travel as ISCAS-89 bench text
+// (the internal/netlist reader parses them inside the worker), so the
+// wire format is exactly what the CLI tools consume.
+type Request struct {
+	Kind  Kind   `json:"kind"`
+	Bench string `json:"bench"`
+
+	// Mode selects the retime objective for KindRetime:
+	// "period" (default) or "registers".
+	Mode string `json:"mode,omitempty"`
+
+	// ATPG tunes the test generator for KindATPG and KindDeriveTests;
+	// nil means atpg.DefaultOptions.
+	ATPG *ATPGSpec `json:"atpg,omitempty"`
+
+	// Tests is the vector sequence for KindFaultSim, in sim.ParseSeq
+	// notation ("001,000").
+	Tests string `json:"tests,omitempty"`
+
+	// Fill selects the Theorem 4 prefix fill for KindDeriveTests:
+	// "zeros" (default), "ones" or "random"; Seed feeds "random".
+	Fill string `json:"fill,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+
+	// TimeoutMS bounds the job's wall-clock run time in milliseconds;
+	// 0 means the service default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate rejects requests the worker could never run. Parse errors in
+// the bench text itself surface later as a failed job, not here: they
+// require the full reader, which belongs on the worker.
+func (r *Request) Validate() error {
+	if !validKind(r.Kind) {
+		return fmt.Errorf("service: unknown job kind %q", r.Kind)
+	}
+	if r.Bench == "" {
+		return fmt.Errorf("service: empty bench circuit")
+	}
+	switch r.Mode {
+	case "", "period", "registers":
+	default:
+		return fmt.Errorf("service: unknown retime mode %q", r.Mode)
+	}
+	if _, err := parseFill(r.Fill); err != nil {
+		return err
+	}
+	if r.Kind == KindFaultSim && r.Tests == "" {
+		return fmt.Errorf("service: fault_sim job needs a test sequence")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout")
+	}
+	return nil
+}
+
+func parseFill(s string) (core.PrefixFill, error) {
+	switch s {
+	case "", "zeros":
+		return core.FillZeros, nil
+	case "ones":
+		return core.FillOnes, nil
+	case "random":
+		return core.FillRandom, nil
+	}
+	return core.FillZeros, fmt.Errorf("service: unknown prefix fill %q", s)
+}
+
+// ATPGSpec is the JSON-friendly subset of atpg.Options a client may
+// override; zero-valued fields keep the library defaults, so results
+// stay identical to direct atpg.Run calls with atpg.DefaultOptions.
+type ATPGSpec struct {
+	MaxFrames        int   `json:"max_frames,omitempty"`
+	MaxBacktracks    int   `json:"max_backtracks,omitempty"`
+	MaxEvalsPerFault int64 `json:"max_evals_per_fault,omitempty"`
+	MaxEvalsTotal    int64 `json:"max_evals_total,omitempty"`
+	RandomPhase      *bool `json:"random_phase,omitempty"`
+	RandomSeed       int64 `json:"random_seed,omitempty"`
+}
+
+// Options resolves the spec against the library defaults.
+func (s *ATPGSpec) Options() atpg.Options {
+	opt := atpg.DefaultOptions()
+	if s == nil {
+		return opt
+	}
+	if s.MaxFrames > 0 {
+		opt.MaxFrames = s.MaxFrames
+	}
+	if s.MaxBacktracks > 0 {
+		opt.MaxBacktracks = s.MaxBacktracks
+	}
+	if s.MaxEvalsPerFault > 0 {
+		opt.MaxEvalsPerFault = s.MaxEvalsPerFault
+	}
+	if s.MaxEvalsTotal > 0 {
+		opt.MaxEvalsTotal = s.MaxEvalsTotal
+	}
+	if s.RandomPhase != nil {
+		opt.RandomPhase = *s.RandomPhase
+	}
+	if s.RandomSeed != 0 {
+		opt.RandomSeed = s.RandomSeed
+	}
+	return opt
+}
+
+// Result is a completed job's payload; exactly one sub-struct is set,
+// matching the job kind.
+type Result struct {
+	Retime   *RetimeResult   `json:"retime,omitempty"`
+	ATPG     *ATPGResult     `json:"atpg,omitempty"`
+	FaultSim *FaultSimResult `json:"fault_sim,omitempty"`
+	Derive   *DeriveResult   `json:"derive_tests,omitempty"`
+}
+
+// RetimeResult reports a retiming job: the retimed circuit in bench
+// format, the objective metric before and after, and the paper's
+// prefix lengths (Theorem 4 tests, Theorem 2 fault-free sync).
+type RetimeResult struct {
+	Bench           string `json:"bench"`
+	PeriodBefore    int    `json:"period_before,omitempty"`
+	PeriodAfter     int    `json:"period_after,omitempty"`
+	RegistersBefore int    `json:"registers_before,omitempty"`
+	RegistersAfter  int    `json:"registers_after,omitempty"`
+	PrefixTests     int    `json:"prefix_tests"`
+	PrefixSync      int    `json:"prefix_sync"`
+}
+
+// ATPGResult reports a test-generation job.
+type ATPGResult struct {
+	Faults          int      `json:"faults"`
+	Detected        int      `json:"detected"`
+	Redundant       int      `json:"redundant"`
+	Aborted         int      `json:"aborted"`
+	FaultCoverage   float64  `json:"fault_coverage"`
+	FaultEfficiency float64  `json:"fault_efficiency"`
+	Vectors         []string `json:"vectors"`
+	Sequences       int      `json:"sequences"`
+	Evals           int64    `json:"evals"`
+}
+
+// FaultSimResult reports a fault-simulation job.
+type FaultSimResult struct {
+	Faults     int      `json:"faults"`
+	Detected   int      `json:"detected"`
+	Coverage   float64  `json:"coverage"`
+	Vectors    int      `json:"vectors"`
+	Undetected []string `json:"undetected,omitempty"`
+}
+
+// DeriveResult reports a Fig. 6 retime-for-testability job.
+type DeriveResult struct {
+	EasyDFFs     int      `json:"easy_dffs"`
+	ImplDFFs     int      `json:"impl_dffs"`
+	Prefix       int      `json:"prefix"`
+	EasyCoverage float64  `json:"easy_coverage"`
+	Derived      []string `json:"derived"`
+	ImplFaults   int      `json:"impl_faults"`
+	ImplDetected int      `json:"impl_detected"`
+	ImplCoverage float64  `json:"impl_coverage"`
+}
+
+// Job is one unit of work tracked by the store. Fields are guarded by
+// mu; readers take a View snapshot.
+type Job struct {
+	mu       sync.Mutex
+	id       string
+	req      Request
+	status   Status
+	err      string
+	result   *Result
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// View is an immutable snapshot of a job, shaped for JSON.
+type View struct {
+	ID       string     `json:"id"`
+	Kind     Kind       `json:"kind"`
+	Status   Status     `json:"status"`
+	Error    string     `json:"error,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// QueueMS and RunMS are the queue wait and run time in
+	// milliseconds, filled once known.
+	QueueMS int64 `json:"queue_ms,omitempty"`
+	RunMS   int64 `json:"run_ms,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:      j.id,
+		Kind:    j.req.Kind,
+		Status:  j.status,
+		Error:   j.err,
+		Result:  j.result,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+		v.QueueMS = j.started.Sub(j.created).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+		v.RunMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	return v
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, err error) (Status, time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = res
+	}
+	return j.status, j.finished.Sub(j.started)
+}

@@ -1,0 +1,263 @@
+// Package service is the job-orchestration layer over the retest
+// library: clients submit typed retime-for-test jobs (see Kind), a
+// bounded worker pool runs them under per-job context deadlines, and an
+// in-memory store answers status polls. Results are produced by the
+// same library calls the CLI tools make, with the same deterministic
+// options, so a job's payload is bit-identical to the equivalent direct
+// call. cmd/servd exposes this package over HTTP.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config tunes a Service. Zero values pick sensible defaults.
+type Config struct {
+	// Workers is the pool size; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// Submit fails fast with ErrQueueFull beyond it. Default 64.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not set Request.TimeoutMS.
+	// Default 60s.
+	DefaultTimeout time.Duration
+	// Metrics receives job and stage instrumentation; a private
+	// registry is created when nil.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: shut down")
+)
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("service: no such job")
+
+// Service owns the worker pool and the job store.
+type Service struct {
+	cfg   Config
+	reg   *metrics.Registry
+	base  context.Context
+	stop  context.CancelFunc
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int64
+	closed bool
+}
+
+// New starts a service with cfg.Workers worker goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	base, stop := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:   cfg,
+		reg:   cfg.Metrics,
+		base:  base,
+		stop:  stop,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the service's registry (for the /metrics endpoint).
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Submit validates and enqueues a job, returning its ID. It fails fast
+// with ErrQueueFull when the queue is at capacity and ErrClosed after
+// Close.
+func (s *Service) Submit(req Request) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	s.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("job-%06d", s.nextID),
+		req:     req,
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.reg.Counter("jobs.submitted." + string(req.Kind)).Inc()
+	s.reg.Gauge("queue.depth").Add(1)
+	return j.id, nil
+}
+
+// Get returns a snapshot of the job, or ErrNotFound.
+func (s *Service) Get(id string) (View, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return j.View(), nil
+}
+
+// List snapshots every job, newest first.
+func (s *Service) List() []View {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	for i := 0; i < len(views); i++ {
+		for k := i + 1; k < len(views); k++ {
+			if views[k].ID > views[i].ID {
+				views[i], views[k] = views[k], views[i]
+			}
+		}
+	}
+	return views
+}
+
+// Wait polls until the job leaves the queued/running states or the
+// context expires; a convenience for tests and synchronous clients.
+func (s *Service) Wait(ctx context.Context, id string) (View, error) {
+	for {
+		v, err := s.Get(id)
+		if err != nil {
+			return View{}, err
+		}
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops accepting jobs, cancels the running ones and waits for
+// the workers. Jobs still queued are marked failed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.reg.Gauge("queue.depth").Add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its deadline. The computation runs on a
+// child goroutine so the worker can abandon it when the deadline fires
+// and move on to the next job; the abandoned computation notices the
+// cancelled context at its next stage boundary and unwinds. The pool
+// therefore stays usable even when a heavy single stage (a large ATPG)
+// overruns its budget.
+func (s *Service) runJob(j *Job) {
+	timeout := s.cfg.DefaultTimeout
+	if j.req.TimeoutMS > 0 {
+		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.base, timeout)
+	defer cancel()
+
+	j.setRunning()
+	s.reg.Gauge("workers.busy").Add(1)
+	defer s.reg.Gauge("workers.busy").Add(-1)
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{nil, fmt.Errorf("service: job panicked: %v", r)}
+			}
+		}()
+		res, err := s.execute(ctx, &j.req)
+		done <- outcome{res, err}
+	}()
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-ctx.Done():
+		o = outcome{nil, ctx.Err()}
+	}
+	status, dur := j.finish(o.res, o.err)
+	kind := string(j.req.Kind)
+	if status == StatusDone {
+		s.reg.Counter("jobs.done." + kind).Inc()
+	} else {
+		s.reg.Counter("jobs.failed." + kind).Inc()
+	}
+	s.reg.Histogram("jobs.latency." + kind).Observe(dur)
+}
+
+// stage runs one pipeline stage under the per-stage latency histogram,
+// checking the deadline first so an expired job stops at the next
+// boundary instead of starting more work.
+func (s *Service) stage(ctx context.Context, name string, f func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.reg.Observe("stage."+name+".latency", f)
+}

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitDone(t *testing.T, s *Service, id string) View {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return v
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	bench := netlist.BenchString(netlist.Fig2C1())
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown kind", Request{Kind: "mystery", Bench: bench}},
+		{"empty bench", Request{Kind: KindATPG}},
+		{"bad mode", Request{Kind: KindRetime, Bench: bench, Mode: "sideways"}},
+		{"bad fill", Request{Kind: KindDeriveTests, Bench: bench, Fill: "sevens"}},
+		{"fault_sim without tests", Request{Kind: KindFaultSim, Bench: bench}},
+		{"negative timeout", Request{Kind: KindATPG, Bench: bench, TimeoutMS: -1}},
+	}
+	for _, c := range cases {
+		if _, err := s.Submit(c.req); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRetimeJobMatchesLibrary(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	c := netlist.Fig2C1()
+	id, err := s.Submit(Request{Kind: KindRetime, Bench: netlist.BenchString(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	r := v.Result.Retime
+	pair, before, after, err := core.MinPeriodPair(mustParse(t, netlist.BenchString(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeriodBefore != before || r.PeriodAfter != after {
+		t.Fatalf("periods %d->%d, want %d->%d", r.PeriodBefore, r.PeriodAfter, before, after)
+	}
+	if want := netlist.BenchString(pair.Retimed); r.Bench != want {
+		t.Fatalf("retimed bench differs from library call:\n%s\nvs\n%s", r.Bench, want)
+	}
+	if r.PrefixTests != pair.PrefixLengthTests() {
+		t.Fatalf("prefix %d, want %d", r.PrefixTests, pair.PrefixLengthTests())
+	}
+}
+
+func TestRetimeRegistersMode(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	id, err := s.Submit(Request{
+		Kind:  KindRetime,
+		Bench: netlist.BenchString(netlist.Fig5N2()),
+		Mode:  "registers",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	r := v.Result.Retime
+	if r.RegistersAfter > r.RegistersBefore {
+		t.Fatalf("register count grew: %d -> %d", r.RegistersBefore, r.RegistersAfter)
+	}
+	if r.Bench == "" {
+		t.Fatal("no retimed circuit returned")
+	}
+}
+
+func TestATPGJobDeterministic(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	c := netlist.Fig2C1()
+	id, err := s.Submit(Request{Kind: KindATPG, Bench: netlist.BenchString(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	lib := mustParse(t, netlist.BenchString(c))
+	faults, _ := fault.Collapse(lib)
+	direct := atpg.Run(lib, faults, atpg.DefaultOptions())
+	got := v.Result.ATPG
+	if got.Faults != len(faults) {
+		t.Fatalf("faults %d, want %d", got.Faults, len(faults))
+	}
+	if want := vecStrings(direct.TestSet); strings.Join(got.Vectors, ",") != strings.Join(want, ",") {
+		t.Fatalf("test set differs from direct atpg.Run:\n%v\nvs\n%v", got.Vectors, want)
+	}
+	if got.FaultCoverage != direct.FaultCoverage() {
+		t.Fatalf("coverage %v, want %v", got.FaultCoverage, direct.FaultCoverage())
+	}
+}
+
+func TestFaultSimJob(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	c := netlist.Fig2C1()
+	bench := netlist.BenchString(c)
+
+	// Vector width mismatch fails the job with a clear error.
+	id, err := s.Submit(Request{Kind: KindFaultSim, Bench: bench, Tests: "0101"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, s, id); v.Status != StatusFailed || !strings.Contains(v.Error, "bits") {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+
+	tests := "01,11,00,10,01,11"
+	id, err = s.Submit(Request{Kind: KindFaultSim, Bench: bench, Tests: tests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	lib := mustParse(t, bench)
+	faults, _ := fault.Collapse(lib)
+	direct := fsim.Run(lib, faults, sim.ParseSeq(tests))
+	got := v.Result.FaultSim
+	if got.Detected != direct.Detected() || got.Coverage != direct.Coverage() {
+		t.Fatalf("detected %d cov %v, want %d cov %v",
+			got.Detected, got.Coverage, direct.Detected(), direct.Coverage())
+	}
+	if got.Vectors != 6 || got.Faults != len(faults) {
+		t.Fatalf("vectors %d faults %d", got.Vectors, got.Faults)
+	}
+}
+
+func TestDeriveTestsJobMatchesFig6Flow(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	impl := netlist.Fig5N2()
+	id, err := s.Submit(Request{Kind: KindDeriveTests, Bench: netlist.BenchString(impl)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	got := v.Result.Derive
+	flow, err := core.Fig6Flow(mustParse(t, netlist.BenchString(impl)), atpg.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := vecStrings(flow.Derived); strings.Join(got.Derived, ",") != strings.Join(want, ",") {
+		t.Fatalf("derived set differs from core.Fig6Flow:\n%v\nvs\n%v", got.Derived, want)
+	}
+	if got.ImplCoverage != flow.ImplCoverage() {
+		t.Fatalf("impl coverage %v, want %v", got.ImplCoverage, flow.ImplCoverage())
+	}
+	if got.Prefix != flow.Pair.PrefixLengthTests() {
+		t.Fatalf("prefix %d, want %d", got.Prefix, flow.Pair.PrefixLengthTests())
+	}
+}
+
+// TestJobTimeout is the acceptance criterion for the pool: a job with a
+// 1ms deadline on a large ATPG workload fails with a context-deadline
+// error, and the pool keeps serving jobs afterwards.
+func TestJobTimeout(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, DefaultTimeout: 30 * time.Second})
+	rng := rand.New(rand.NewSource(5))
+	big := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 8, Outputs: 8, Gates: 300, DFFs: 24, MaxFanin: 4,
+	})
+	id, err := s.Submit(Request{
+		Kind:      KindATPG,
+		Bench:     netlist.BenchString(big),
+		ATPG:      &ATPGSpec{MaxEvalsTotal: 2_000_000},
+		TimeoutMS: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusFailed {
+		t.Fatalf("status %s, want failed", v.Status)
+	}
+	if !strings.Contains(v.Error, context.DeadlineExceeded.Error()) {
+		t.Fatalf("error %q does not mention the deadline", v.Error)
+	}
+
+	// Pool must still be usable.
+	id, err = s.Submit(Request{Kind: KindRetime, Bench: netlist.BenchString(netlist.Fig2C1())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, s, id); v.Status != StatusDone {
+		t.Fatalf("post-timeout job status %s, error %q", v.Status, v.Error)
+	}
+}
+
+func TestQueueFullAndClose(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, DefaultTimeout: 10 * time.Second})
+	rng := rand.New(rand.NewSource(9))
+	big := netlist.BenchString(netlist.Random(rng, netlist.RandomParams{
+		Inputs: 8, Outputs: 8, Gates: 300, DFFs: 24, MaxFanin: 4,
+	}))
+	heavy := Request{Kind: KindATPG, Bench: big, ATPG: &ATPGSpec{MaxEvalsTotal: 50_000_000}}
+
+	id1, err := s.Submit(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picks job 1 up, so the queue is empty again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := s.Get(id1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(heavy); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(heavy); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+
+	s.Close() // cancels the running job, fails the queued one
+	if _, err := s.Submit(heavy); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Get("job-999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get unknown: %v, want ErrNotFound", err)
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	bench := netlist.BenchString(netlist.Fig2C1())
+	id, err := s.Submit(Request{Kind: KindRetime, Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, id)
+	reg := s.Metrics()
+	if got := reg.Counter("jobs.submitted.retime").Value(); got != 1 {
+		t.Fatalf("submitted counter = %d", got)
+	}
+	if got := reg.Counter("jobs.done.retime").Value(); got != 1 {
+		t.Fatalf("done counter = %d", got)
+	}
+	if reg.Histogram("jobs.latency.retime").Count() != 1 {
+		t.Fatal("job latency not observed")
+	}
+	if reg.Histogram("stage.parse.latency").Count() != 1 {
+		t.Fatal("parse stage latency not observed")
+	}
+	if reg.Histogram("stage.retime.latency").Count() != 1 {
+		t.Fatal("retime stage latency not observed")
+	}
+	if got := reg.Gauge("queue.depth").Value(); got != 0 {
+		t.Fatalf("queue depth = %d after drain", got)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	bench := netlist.BenchString(netlist.Fig2C1())
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(Request{Kind: KindRetime, Bench: bench}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := s.List()
+	if len(views) != 3 {
+		t.Fatalf("listed %d jobs", len(views))
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i].ID > views[i-1].ID {
+			t.Fatal("list not newest first")
+		}
+	}
+}
+
+func mustParse(t *testing.T, bench string) *netlist.Circuit {
+	t.Helper()
+	// The service parses submissions under the name "job"; use the same
+	// name so bench-text comparisons are exact.
+	c, err := netlist.ParseBenchString("job", bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

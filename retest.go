@@ -28,8 +28,10 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/fsmgen"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/retime"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/verify"
 )
@@ -162,6 +164,41 @@ func ScanATPG(c *Circuit, faults []Fault, opt ATPGOptions) *atpg.ScanResult {
 func GeneticATPG(c *Circuit, faults []Fault, opt atpg.GeneticOptions) *ATPGResult {
 	return atpg.RunGenetic(c, faults, opt)
 }
+
+// Job service types: the concurrent retime-for-test service cmd/servd
+// exposes over HTTP, re-exported for embedding in other processes.
+type (
+	// JobService runs typed retime-for-test jobs on a bounded worker
+	// pool with per-job deadlines and an in-memory status store.
+	JobService = service.Service
+	// JobServiceConfig tunes the pool, the queue and the default
+	// per-job timeout.
+	JobServiceConfig = service.Config
+	// JobRequest describes one job; circuits travel as bench text.
+	JobRequest = service.Request
+	// JobView is an immutable job snapshot (status, result, timings).
+	JobView = service.View
+	// JobKind selects a job's pipeline.
+	JobKind = service.Kind
+	// MetricsRegistry is the atomic counter/gauge/histogram registry
+	// the service and the experiment harness record into.
+	MetricsRegistry = metrics.Registry
+)
+
+// Job kinds: the individual pipeline pieces plus the paper's full
+// Fig. 6 flow as one job.
+const (
+	JobRetime      = service.KindRetime
+	JobATPG        = service.KindATPG
+	JobFaultSim    = service.KindFaultSim
+	JobDeriveTests = service.KindDeriveTests
+)
+
+// NewJobService starts a job service; Close it when done.
+func NewJobService(cfg JobServiceConfig) *JobService { return service.New(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // ParseKISS2 reads a KISS2 FSM description.
 func ParseKISS2(name string, r io.Reader) (*FSM, error) { return fsmgen.ParseKISS2(name, r) }

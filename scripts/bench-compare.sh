@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench-compare.sh — compare benchmarks/latest.txt against the committed
+# benchmarks/baseline.txt and fail when any matching benchmark regressed
+# by more than BENCH_MAX_REGRESSION_PCT percent (default: 5) in ns/op.
+# Benchmarks present in only one file are reported and skipped (the
+# -procs suffix makes names hardware-dependent).
+set -eu
+cd "$(dirname "$0")/.."
+
+MAX="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+if [ ! -f benchmarks/baseline.txt ]; then
+    echo "bench-compare: no benchmarks/baseline.txt; nothing to compare" >&2
+    exit 0
+fi
+if [ ! -f benchmarks/latest.txt ]; then
+    echo "bench-compare: benchmarks/latest.txt missing; run scripts/bench.sh first" >&2
+    exit 1
+fi
+
+awk -v max="$MAX" '
+    # go test -bench lines: "BenchmarkName-N   iters   12345 ns/op ..."
+    FNR == 1 { file++ }
+    /^Benchmark/ {
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op") {
+                if (file == 1) base[$1] = $i
+                else           last[$1] = $i
+                break
+            }
+        }
+    }
+    END {
+        status = 0
+        for (name in last) {
+            if (!(name in base)) {
+                printf "SKIP   %-50s (not in baseline)\n", name
+                continue
+            }
+            pct = base[name] > 0 ? (last[name] - base[name]) * 100.0 / base[name] : 0
+            verdict = "ok"
+            if (pct > max) { verdict = "REGRESSED"; status = 1 }
+            printf "%-9s %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", verdict, name, base[name], last[name], pct
+        }
+        for (name in base)
+            if (!(name in last))
+                printf "SKIP   %-50s (not in latest)\n", name
+        exit status
+    }
+' benchmarks/baseline.txt benchmarks/latest.txt

@@ -1,0 +1,13 @@
+#!/bin/sh
+# bench-update.sh — promote benchmarks/latest.txt as the committed
+# baseline after reviewing it. Keep baseline and compare runs on the
+# same goos/goarch/CPU to avoid false regressions.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ ! -f benchmarks/latest.txt ]; then
+    echo "bench-update: benchmarks/latest.txt missing; run scripts/bench.sh first" >&2
+    exit 1
+fi
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"

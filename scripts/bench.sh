@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench.sh — run the tracked benchmark set and write benchmarks/latest.txt.
+#
+#   BENCH_PKGS     packages to benchmark   (default: ./internal/fsim)
+#   BENCH_PATTERN  -bench regexp           (default: BenchmarkFsim)
+#   BENCH_COUNT    -count                  (default: 1)
+#
+# Review the result, then promote it with scripts/bench-update.sh.
+set -eu
+cd "$(dirname "$0")/.."
+
+PKGS="${BENCH_PKGS:-./internal/fsim}"
+PATTERN="${BENCH_PATTERN:-BenchmarkFsim}"
+COUNT="${BENCH_COUNT:-1}"
+
+mkdir -p benchmarks
+go test -run '^$' -bench "$PATTERN" -count "$COUNT" -benchmem $PKGS | tee benchmarks/latest.txt
+echo "wrote benchmarks/latest.txt"
