@@ -1,0 +1,63 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// benchDropOptions weights the run toward the fault-dropping phases:
+// a substantial random phase over a >=1000-fault list, with the
+// deterministic budget capped so PODEM time does not drown out the
+// grading cost being measured.
+func benchDropOptions() Options {
+	opt := DefaultOptions()
+	opt.RandomLength = 64
+	opt.RandomCount = 16
+	opt.MaxFrames = 3
+	opt.MaxBacktracks = 10
+	opt.MaxEvalsPerFault = 50_000
+	opt.MaxEvalsTotal = 30_000_000
+	opt.FillValue = logic.Zero
+	return opt
+}
+
+func benchDropWorkload(b *testing.B) (*netlist.Circuit, []fault.Fault) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 8, Outputs: 8, Gates: 400, DFFs: 24, MaxFanin: 4,
+	})
+	faults := fault.Universe(c)
+	if len(faults) < 1000 {
+		b.Fatalf("workload has only %d faults", len(faults))
+	}
+	return c, faults
+}
+
+// BenchmarkATPGWithDropping pits the incremental event-driven grader
+// (the production path) against the pre-incremental cost model that
+// re-simulates every surviving fault with a full topological sweep per
+// generated sequence. Both arms produce identical results (see
+// TestGraderEquivalence); only the fault-simulation engine differs.
+func BenchmarkATPGWithDropping(b *testing.B) {
+	c, faults := benchDropWorkload(b)
+	b.Run("full-resim", func(b *testing.B) {
+		opt := benchDropOptions()
+		opt.fullResim = true
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Run(c, faults, opt)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		opt := benchDropOptions()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Run(c, faults, opt)
+		}
+	})
+}

@@ -55,10 +55,7 @@ type btKey struct {
 }
 
 func newEngine(c *netlist.Circuit, opt Options) *engine {
-	order, err := c.Levelize()
-	if err != nil {
-		panic(err)
-	}
+	order, _ := c.MustLevels()
 	e := &engine{c: c, opt: opt, order: order, isOut: make([]bool, len(c.Nodes))}
 	for _, id := range c.Outputs {
 		e.isOut[id] = true

@@ -1,0 +1,94 @@
+package atpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// grader abstracts the fault-dropping backend of Run. Both phases of
+// the generator (random grading and post-generation dropping) simulate
+// a sequence from the all-X state over the surviving faults and retire
+// the detected ones. The incremental simGrader is the production path;
+// oracleGrader rebuilds a full-sweep simulation per call and exists to
+// benchmark the old re-simulate-everything cost model and to cross-check
+// the incremental engine in tests.
+type grader interface {
+	// grade simulates seq from the unknown initial state over the
+	// surviving faults, retires the detected ones, and returns them.
+	grade(seq sim.Seq) []fault.Fault
+	// drop retires a fault out of band (generated, aborted, redundant).
+	drop(f fault.Fault)
+	// liveCount returns the number of surviving faults.
+	liveCount() int
+	// remaining returns the surviving faults in fault-list order.
+	remaining() []fault.Fault
+	// stats returns accumulated fault-simulation work counters.
+	stats() fsim.Stats
+}
+
+// simGrader is the incremental event-driven backend: one persistent
+// fsim.Simulator reused across every sequence, so detected faults are
+// never packed or simulated again and sparse groups are repacked.
+type simGrader struct{ s *fsim.Simulator }
+
+func newSimGrader(c *netlist.Circuit, faults []fault.Fault) *simGrader {
+	return &simGrader{s: fsim.NewSimulator(c, faults)}
+}
+
+func (g *simGrader) grade(seq sim.Seq) []fault.Fault {
+	g.s.Reset()
+	return g.s.Simulate(seq)
+}
+
+func (g *simGrader) drop(f fault.Fault)       { g.s.Drop(f) }
+func (g *simGrader) liveCount() int           { return g.s.LiveCount() }
+func (g *simGrader) remaining() []fault.Fault { return g.s.Remaining() }
+func (g *simGrader) stats() fsim.Stats        { return g.s.Stats() }
+
+// oracleGrader re-simulates the whole surviving fault list with the
+// full-sweep oracle on every call, the pre-incremental cost model.
+type oracleGrader struct {
+	c   *netlist.Circuit
+	rem []fault.Fault
+}
+
+func newOracleGrader(c *netlist.Circuit, faults []fault.Fault) *oracleGrader {
+	return &oracleGrader{c: c, rem: append([]fault.Fault(nil), faults...)}
+}
+
+func (g *oracleGrader) grade(seq sim.Seq) []fault.Fault {
+	res := fsim.RunSequential(g.c, g.rem, seq)
+	if len(res.DetectedAt) == 0 {
+		return nil
+	}
+	detected := make([]fault.Fault, 0, len(res.DetectedAt))
+	keep := g.rem[:0]
+	for _, f := range g.rem {
+		if _, ok := res.DetectedAt[f]; ok {
+			detected = append(detected, f)
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	g.rem = keep
+	return detected
+}
+
+func (g *oracleGrader) drop(f fault.Fault) {
+	for i, x := range g.rem {
+		if x == f {
+			g.rem = append(g.rem[:i], g.rem[i+1:]...)
+			return
+		}
+	}
+}
+
+func (g *oracleGrader) liveCount() int { return len(g.rem) }
+
+func (g *oracleGrader) remaining() []fault.Fault {
+	return append([]fault.Fault(nil), g.rem...)
+}
+
+func (g *oracleGrader) stats() fsim.Stats { return fsim.Stats{} }

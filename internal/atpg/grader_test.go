@@ -1,0 +1,67 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// TestGraderEquivalence runs the generator with the incremental
+// event-driven grader and with the full-resim oracle grader on the same
+// workloads and requires identical outcomes: same per-fault status,
+// same generated sequences in the same order, same deterministic effort
+// charges. This pins the incremental fault-dropping path to the
+// pre-incremental behavior bit for bit.
+func TestGraderEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs:   3 + rng.Intn(3),
+			Outputs:  2 + rng.Intn(3),
+			Gates:    30 + rng.Intn(80),
+			DFFs:     1 + rng.Intn(6),
+			MaxFanin: 4,
+		})
+		faults, _ := fault.Collapse(c)
+		opt := DefaultOptions()
+		opt.MaxFrames = 5
+		opt.MaxBacktracks = 50
+		opt.RandomLength = 32
+		opt.RandomCount = 8
+
+		inc := Run(c, faults, opt)
+		opt.fullResim = true
+		full := Run(c, faults, opt)
+
+		if len(inc.Status) != len(full.Status) {
+			t.Fatalf("trial %d: %d vs %d statuses", trial, len(inc.Status), len(full.Status))
+		}
+		for f, st := range full.Status {
+			if inc.Status[f] != st {
+				t.Fatalf("trial %d: fault %s: incremental %s, full-resim %s",
+					trial, f.Name(c), inc.Status[f], st)
+			}
+		}
+		if got, want := sim.SeqString(inc.TestSet), sim.SeqString(full.TestSet); got != want {
+			t.Fatalf("trial %d: test sets differ:\n  incremental %s\n  full-resim  %s", trial, got, want)
+		}
+		if len(inc.Tests) != len(full.Tests) {
+			t.Fatalf("trial %d: %d vs %d sequences", trial, len(inc.Tests), len(full.Tests))
+		}
+		if inc.Effort.Evals != full.Effort.Evals || inc.Effort.Backtracks != full.Effort.Backtracks {
+			t.Fatalf("trial %d: effort (%d,%d) vs (%d,%d)", trial,
+				inc.Effort.Evals, inc.Effort.Backtracks, full.Effort.Evals, full.Effort.Backtracks)
+		}
+		// Only the incremental path reports measured simulation work.
+		if inc.FsimStats.Cycles == 0 || inc.FsimStats.Evals == 0 {
+			t.Fatalf("trial %d: incremental FsimStats not populated: %+v", trial, inc.FsimStats)
+		}
+		if full.FsimStats != (fsim.Stats{}) {
+			t.Fatalf("trial %d: oracle grader should report zero stats, got %+v", trial, full.FsimStats)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fsim"
 	"repro/internal/fsmgen"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
@@ -41,6 +42,19 @@ func observe(stage string, f func() error) error {
 		return reg.Observe("experiments."+stage+".latency", f)
 	}
 	return f()
+}
+
+// recordFsim accumulates the measured fault-simulation work of one ATPG
+// run into the attached registry (no-op when detached).
+func recordFsim(st fsim.Stats) {
+	reg := metricsReg.Load()
+	if reg == nil {
+		return
+	}
+	reg.Counter("experiments.fsim.evals").Add(st.Evals)
+	reg.Counter("experiments.fsim.cycles").Add(st.Cycles)
+	reg.Counter("experiments.fsim.drops").Add(st.Drops)
+	reg.Counter("experiments.fsim.repacks").Add(st.Repacks)
 }
 
 // Variant names one synthesized circuit of Table II.
@@ -171,11 +185,13 @@ func RunVariant(v Variant, opt atpg.Options, withRetimedATPG bool) (*VariantRun,
 		run.OrigATPG = atpg.Run(pair.Original, run.OrigFaults, opt)
 		return nil
 	})
+	recordFsim(run.OrigATPG.FsimStats)
 	if withRetimedATPG {
 		observe("atpg.retimed", func() error {
 			run.RetATPG = atpg.Run(pair.Retimed, run.RetFaults, opt)
 			return nil
 		})
+		recordFsim(run.RetATPG.FsimStats)
 	}
 	if err := observe("preservation", func() error {
 		var err error

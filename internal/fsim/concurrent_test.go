@@ -112,3 +112,35 @@ func BenchmarkFsimParallel(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFsimEventDriven measures the one-shot event-driven path
+// (Run) on the same >=1000-fault workload as the sequential oracle, so
+// the two numbers are directly comparable in benchmarks/baseline.txt.
+func BenchmarkFsimEventDriven(b *testing.B) {
+	c, faults, seq := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(c, faults, seq)
+	}
+}
+
+// BenchmarkFsimIncremental measures the persistent-Simulator pattern
+// ATPG uses: the sequence arrives in chunks, state carries over, and
+// detected faults are dropped (and their groups repacked) between
+// chunks instead of being re-simulated.
+func BenchmarkFsimIncremental(b *testing.B) {
+	c, faults, seq := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSimulator(c, faults)
+		for start := 0; start < len(seq); start += 8 {
+			end := start + 8
+			if end > len(seq) {
+				end = len(seq)
+			}
+			s.Simulate(seq[start:end])
+		}
+	}
+}

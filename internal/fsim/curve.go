@@ -8,12 +8,14 @@ import (
 
 // CoverageCurve returns the cumulative number of detected faults after
 // each vector of the sequence: curve[t] is the detections achieved by
-// the prefix seq[:t+1]. It is a single fault-parallel run, so it costs
-// the same as Run.
+// the prefix seq[:t+1]. It is a single event-driven fault-parallel run
+// -- detected faults are dropped from the injection tables as the
+// sequence advances -- so it costs no more than Run.
 func CoverageCurve(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) []int {
-	res := Run(c, faults, seq)
+	s := NewSimulator(c, faults)
+	s.Simulate(seq)
 	curve := make([]int, len(seq))
-	for _, t := range res.DetectedAt {
+	for _, t := range s.DetectedAt() {
 		curve[t]++
 	}
 	for t := 1; t < len(curve); t++ {

@@ -1,0 +1,87 @@
+package fsim
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// pair is a pending injection at one pin: OR-masks of bits to force to
+// one and to zero.
+type pair struct{ ones, zeros uint64 }
+
+// injection holds the per-group fault-injection tables in flat,
+// node-indexed form: stem masks per node, and a per-node slice of
+// branch pairs indexed by pin. Rows are carved out of a reusable arena
+// so that regrouping faults between sequences allocates nothing once
+// the arena has warmed up. The touched list records which nodes carry
+// any injection, so clearing between groups is O(group) rather than
+// O(circuit).
+type injection struct {
+	stem1, stem0 []uint64 // per-node stem OR-masks
+	branch       [][]pair // per-node branch rows (len = fanin count) or nil
+	arena        []pair   // backing storage for branch rows
+	touched      []int    // nodes with at least one stem or branch injection
+}
+
+func newInjection(nodes int) *injection {
+	return &injection{
+		stem1:  make([]uint64, nodes),
+		stem0:  make([]uint64, nodes),
+		branch: make([][]pair, nodes),
+	}
+}
+
+// reset clears only the entries the previous group touched.
+func (inj *injection) reset() {
+	for _, id := range inj.touched {
+		inj.stem1[id], inj.stem0[id] = 0, 0
+		inj.branch[id] = nil
+	}
+	inj.touched = inj.touched[:0]
+	inj.arena = inj.arena[:0]
+}
+
+// mark records id in the touched list on its first injection.
+func (inj *injection) mark(id int) {
+	if inj.stem1[id] == 0 && inj.stem0[id] == 0 && inj.branch[id] == nil {
+		inj.touched = append(inj.touched, id)
+	}
+}
+
+// row returns the branch row for the node, carving it out of the arena
+// on first use.
+func (inj *injection) row(c *netlist.Circuit, id int) []pair {
+	if inj.branch[id] == nil {
+		start := len(inj.arena)
+		for i := 0; i < len(c.Nodes[id].Fanin); i++ {
+			inj.arena = append(inj.arena, pair{})
+		}
+		inj.branch[id] = inj.arena[start:len(inj.arena):len(inj.arena)]
+	}
+	return inj.branch[id]
+}
+
+// build populates the tables for a group; fault k of the group drives
+// bit k+1 (bit 0 is the good machine). reset must have been called (or
+// the tables be fresh).
+func (inj *injection) build(c *netlist.Circuit, group []fault.Fault) {
+	for k, f := range group {
+		bit := uint64(1) << uint(k+1)
+		inj.mark(f.Node)
+		if f.IsStem() {
+			if f.SA == logic.One {
+				inj.stem1[f.Node] |= bit
+			} else {
+				inj.stem0[f.Node] |= bit
+			}
+			continue
+		}
+		row := inj.row(c, f.Node)
+		if f.SA == logic.One {
+			row[f.Pin].ones |= bit
+		} else {
+			row[f.Pin].zeros |= bit
+		}
+	}
+}

@@ -34,10 +34,7 @@ type Machine struct {
 // NewMachine creates a machine with the given fault injected (nil for
 // the fault-free machine).
 func NewMachine(c *netlist.Circuit, f *fault.Fault) *Machine {
-	order, err := c.Levelize()
-	if err != nil {
-		panic(err)
-	}
+	order, _ := c.MustLevels()
 	m := &Machine{c: c, f: f, order: order,
 		val:   make([]logic.V, len(c.Nodes)),
 		state: make([]logic.V, len(c.DFFs))}

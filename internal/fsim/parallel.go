@@ -3,8 +3,6 @@ package fsim
 import (
 	"math/bits"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -24,6 +22,10 @@ type Result struct {
 	// DetectedAt maps each detected fault to the first cycle (0-based)
 	// at which a primary output exposed it.
 	DetectedAt map[fault.Fault]int
+
+	// Stats counts the simulation work performed (event-driven paths
+	// only; the full-sweep oracle reports zero stats).
+	Stats Stats
 }
 
 // Detected returns the number of detected faults.
@@ -49,26 +51,41 @@ func (r *Result) Coverage() float64 {
 	return 100 * float64(len(r.DetectedAt)) / float64(len(r.Faults))
 }
 
-// ParallelThreshold is the fault-list size above which Run spreads the
-// 63-fault groups across goroutines. Below it the goroutine and engine
-// setup overhead dominates, so the sequential path is used.
+// ParallelThreshold is the fault-list size above which the event-driven
+// engine spreads the 63-fault groups across goroutines. Below it the
+// goroutine and engine setup overhead dominates, so the groups run on
+// the calling goroutine.
 const ParallelThreshold = 2 * GroupWidth
 
 // Run fault-simulates the test sequence over the fault list from the
-// all-X initial state using the fault-parallel engine. Large fault
-// lists are spread across GOMAXPROCS goroutines (one 63-fault word-pair
-// group at a time); the result is identical to RunSequential because
-// the groups are mutually independent.
+// all-X initial state using the event-driven fault-parallel engine.
+// Large fault lists are spread across GOMAXPROCS goroutines (one
+// 63-fault word-pair group at a time); DetectedAt is identical to
+// RunSequential, the full-sweep oracle, in every case.
 func Run(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
-	if len(faults) > ParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
-		return RunParallel(c, faults, seq)
-	}
-	return RunSequential(c, faults, seq)
+	s := NewSimulator(c, faults)
+	s.Simulate(seq)
+	return s.Result()
 }
 
-// RunSequential fault-simulates group by group on the calling
-// goroutine. It is the reference implementation the concurrent path
-// must match bit for bit.
+// RunParallel fault-simulates with one worker goroutine per processor,
+// each owning a private event-driven engine and draining 63-fault
+// groups from a shared index. A group writes DetectedAt entries only
+// for its own faults, so per-worker partial results merge without
+// conflicts and DetectedAt is identical to the sequential run for every
+// fault.
+func RunParallel(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
+	s := NewSimulator(c, faults)
+	s.forceParallel = runtime.GOMAXPROCS(0) > 1
+	s.Simulate(seq)
+	return s.Result()
+}
+
+// RunSequential fault-simulates group by group on the calling goroutine
+// with the full-sweep PROOFS-style engine: every gate is evaluated on
+// every cycle and no fault is ever dropped from the injection tables.
+// It is the bit-exact reference implementation the event-driven paths
+// must match.
 func RunSequential(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
 	res := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
 	eng := newEngine(c)
@@ -82,82 +99,26 @@ func RunSequential(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Resul
 	return res
 }
 
-// RunParallel fault-simulates with one worker goroutine per processor,
-// each owning a private engine and draining 63-fault groups from a
-// shared index. A group writes DetectedAt entries only for its own
-// faults, so per-worker partial results merge without conflicts and
-// DetectedAt is identical to the sequential run for every fault.
-func RunParallel(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
-	res := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
-	groups := (len(faults) + GroupWidth - 1) / GroupWidth
-	workers := runtime.GOMAXPROCS(0)
-	if workers > groups {
-		workers = groups
-	}
-	if workers < 1 {
-		return res
-	}
-	partial := make([]map[fault.Fault]int, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := &Result{Circuit: c, Faults: faults, DetectedAt: make(map[fault.Fault]int)}
-			eng := newEngine(c)
-			for {
-				g := int(next.Add(1)) - 1
-				if g >= groups {
-					break
-				}
-				start := g * GroupWidth
-				end := start + GroupWidth
-				if end > len(faults) {
-					end = len(faults)
-				}
-				eng.runGroup(faults[start:end], seq, local)
-			}
-			partial[w] = local.DetectedAt
-		}(w)
-	}
-	wg.Wait()
-	for _, m := range partial {
-		for f, t := range m {
-			res.DetectedAt[f] = t
-		}
-	}
-	return res
-}
-
-// engine holds the per-circuit scratch state for group simulation.
+// engine holds the per-circuit scratch state for full-sweep group
+// simulation (the oracle). The injection tables are reused across
+// groups; see injection.
 type engine struct {
 	c     *netlist.Circuit
 	order []int
 	val   []logic.W
 	state []logic.W
-
-	// Per-group injection tables, rebuilt by runGroup. force1/force0 are
-	// OR-masks of bits to force at each site.
-	stem1, stem0 []uint64            // indexed by node
-	branch       map[fault.Site]pair // branch sites only
-	hasBranch    []bool              // node has at least one branch injection
+	inj   *injection
+	buf   []logic.W
 }
 
-type pair struct{ ones, zeros uint64 }
-
 func newEngine(c *netlist.Circuit) *engine {
-	order, err := c.Levelize()
-	if err != nil {
-		panic(err)
-	}
+	order, _ := c.MustLevels()
 	return &engine{
 		c:     c,
 		order: order,
 		val:   make([]logic.W, len(c.Nodes)),
 		state: make([]logic.W, len(c.DFFs)),
-		stem1: make([]uint64, len(c.Nodes)),
-		stem0: make([]uint64, len(c.Nodes)),
+		inj:   newInjection(len(c.Nodes)),
 	}
 }
 
@@ -170,59 +131,35 @@ func force(w logic.W, ones, zeros uint64) logic.W {
 
 func (e *engine) runGroup(group []fault.Fault, seq sim.Seq, res *Result) {
 	c := e.c
-	for i := range e.stem1 {
-		e.stem1[i], e.stem0[i] = 0, 0
-	}
-	e.branch = make(map[fault.Site]pair)
-	e.hasBranch = make([]bool, len(c.Nodes))
-	for k, f := range group {
-		bit := uint64(1) << uint(k+1) // bit 0 is the good machine
-		if f.IsStem() {
-			if f.SA == logic.One {
-				e.stem1[f.Node] |= bit
-			} else {
-				e.stem0[f.Node] |= bit
-			}
-			continue
-		}
-		p := e.branch[f.Site]
-		if f.SA == logic.One {
-			p.ones |= bit
-		} else {
-			p.zeros |= bit
-		}
-		e.branch[f.Site] = p
-		e.hasBranch[f.Node] = true
-	}
-
+	e.inj.reset()
+	e.inj.build(c, group)
 	for i := range e.state {
 		e.state[i] = logic.W{} // all X
 	}
 	remaining := len(group)
-	var buf []logic.W
 	for t, in := range seq {
 		if remaining == 0 {
 			break
 		}
 		for i, id := range c.Inputs {
-			e.val[id] = force(logic.WAll(in[i]), e.stem1[id], e.stem0[id])
+			e.val[id] = force(logic.WAll(in[i]), e.inj.stem1[id], e.inj.stem0[id])
 		}
 		for i, id := range c.DFFs {
-			e.val[id] = force(e.state[i], e.stem1[id], e.stem0[id])
+			e.val[id] = force(e.state[i], e.inj.stem1[id], e.inj.stem0[id])
 		}
 		for _, id := range e.order {
 			n := &c.Nodes[id]
-			buf = buf[:0]
+			buf := e.buf[:0]
+			row := e.inj.branch[id]
 			for pin, f := range n.Fanin {
 				w := e.val[f]
-				if e.hasBranch[id] {
-					if p, ok := e.branch[fault.Site{Node: id, Pin: pin}]; ok {
-						w = force(w, p.ones, p.zeros)
-					}
+				if row != nil {
+					w = force(w, row[pin].ones, row[pin].zeros)
 				}
 				buf = append(buf, w)
 			}
-			e.val[id] = force(logic.EvalW(n.Op, buf), e.stem1[id], e.stem0[id])
+			e.val[id] = force(logic.EvalW(n.Op, buf), e.inj.stem1[id], e.inj.stem0[id])
+			e.buf = buf[:0]
 		}
 		// Detection: compare every faulty bit against the good bit 0.
 		for _, id := range c.Outputs {
@@ -250,8 +187,8 @@ func (e *engine) runGroup(group []fault.Fault, seq sim.Seq, res *Result) {
 		}
 		for i, id := range c.DFFs {
 			w := e.val[c.Nodes[id].Fanin[0]]
-			if p, ok := e.branch[fault.Site{Node: id, Pin: 0}]; ok {
-				w = force(w, p.ones, p.zeros)
+			if row := e.inj.branch[id]; row != nil {
+				w = force(w, row[0].ones, row[0].zeros)
 			}
 			e.state[i] = w
 		}

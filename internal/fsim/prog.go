@@ -1,0 +1,176 @@
+package fsim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// prog is a flattened evaluation program for the event-driven engine:
+// per-node op codes and fanin spans packed into contiguous arrays, so
+// the hot loop touches a few bytes per gate instead of chasing the
+// full netlist.Node structs, and gate evaluation folds fanins directly
+// without gathering them into a buffer first.
+type prog struct {
+	op       []logic.Op // per node (meaningful for gates only)
+	fanStart []int32    // per node+1, span of fanins
+	fanins   []int32    // flat fanin node IDs in pin order
+}
+
+func buildProg(c *netlist.Circuit) *prog {
+	p := &prog{
+		op:       make([]logic.Op, len(c.Nodes)),
+		fanStart: make([]int32, len(c.Nodes)+1),
+	}
+	total := 0
+	for id := range c.Nodes {
+		total += len(c.Nodes[id].Fanin)
+	}
+	p.fanins = make([]int32, 0, total)
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		p.op[id] = n.Op
+		p.fanStart[id] = int32(len(p.fanins))
+		for _, f := range n.Fanin {
+			p.fanins = append(p.fanins, int32(f))
+		}
+	}
+	p.fanStart[len(c.Nodes)] = int32(len(p.fanins))
+	return p
+}
+
+// evalOv is eval against a sparse overlay: fanin words come from ov
+// where stamp matches the current epoch (the fanin diverged from the
+// good machine this cycle) and from the good row otherwise.
+func (p *prog) evalOv(id int, good, ov []logic.W, stamp []int64, epoch int64, row []pair, live uint64) logic.W {
+	fan := p.fanins[p.fanStart[id]:p.fanStart[id+1]]
+	op := p.op[id]
+	var acc logic.W
+	switch op {
+	case logic.OpConst0:
+		return logic.WAll(logic.Zero)
+	case logic.OpConst1:
+		return logic.WAll(logic.One)
+	case logic.OpBuf, logic.OpNot:
+		f := fan[0]
+		acc = good[f]
+		if stamp[f] == epoch {
+			acc = ov[f]
+		}
+		if row != nil {
+			acc = force(acc, row[0].ones&live, row[0].zeros&live)
+		}
+		if op == logic.OpNot {
+			acc = logic.NotW(acc)
+		}
+	case logic.OpAnd, logic.OpNand:
+		acc = logic.W{Ones: ^uint64(0)}
+		for pin, f := range fan {
+			w := good[f]
+			if stamp[f] == epoch {
+				w = ov[f]
+			}
+			if row != nil {
+				w = force(w, row[pin].ones&live, row[pin].zeros&live)
+			}
+			acc = logic.AndW(acc, w)
+		}
+		if op == logic.OpNand {
+			acc = logic.NotW(acc)
+		}
+	case logic.OpOr, logic.OpNor:
+		acc = logic.W{Zeros: ^uint64(0)}
+		for pin, f := range fan {
+			w := good[f]
+			if stamp[f] == epoch {
+				w = ov[f]
+			}
+			if row != nil {
+				w = force(w, row[pin].ones&live, row[pin].zeros&live)
+			}
+			acc = logic.OrW(acc, w)
+		}
+		if op == logic.OpNor {
+			acc = logic.NotW(acc)
+		}
+	case logic.OpXor, logic.OpXnor:
+		acc = logic.W{Zeros: ^uint64(0)}
+		for pin, f := range fan {
+			w := good[f]
+			if stamp[f] == epoch {
+				w = ov[f]
+			}
+			if row != nil {
+				w = force(w, row[pin].ones&live, row[pin].zeros&live)
+			}
+			acc = logic.XorW(acc, w)
+		}
+		if op == logic.OpXnor {
+			acc = logic.NotW(acc)
+		}
+	default:
+		panic("fsim: prog.evalOv of unknown op")
+	}
+	return acc
+}
+
+// eval computes the gate's word under the group's branch injections
+// (row may be nil) masked to the live machines. It is the fold-form
+// equivalent of gathering the fanin words and calling logic.EvalW.
+func (p *prog) eval(id int, val []logic.W, row []pair, live uint64) logic.W {
+	fan := p.fanins[p.fanStart[id]:p.fanStart[id+1]]
+	op := p.op[id]
+	var acc logic.W
+	switch op {
+	case logic.OpConst0:
+		return logic.WAll(logic.Zero)
+	case logic.OpConst1:
+		return logic.WAll(logic.One)
+	case logic.OpBuf, logic.OpNot:
+		acc = val[fan[0]]
+		if row != nil {
+			acc = force(acc, row[0].ones&live, row[0].zeros&live)
+		}
+		if op == logic.OpNot {
+			acc = logic.NotW(acc)
+		}
+	case logic.OpAnd, logic.OpNand:
+		acc = logic.W{Ones: ^uint64(0)}
+		for pin, f := range fan {
+			w := val[f]
+			if row != nil {
+				w = force(w, row[pin].ones&live, row[pin].zeros&live)
+			}
+			acc = logic.AndW(acc, w)
+		}
+		if op == logic.OpNand {
+			acc = logic.NotW(acc)
+		}
+	case logic.OpOr, logic.OpNor:
+		acc = logic.W{Zeros: ^uint64(0)}
+		for pin, f := range fan {
+			w := val[f]
+			if row != nil {
+				w = force(w, row[pin].ones&live, row[pin].zeros&live)
+			}
+			acc = logic.OrW(acc, w)
+		}
+		if op == logic.OpNor {
+			acc = logic.NotW(acc)
+		}
+	case logic.OpXor, logic.OpXnor:
+		acc = logic.W{Zeros: ^uint64(0)}
+		for pin, f := range fan {
+			w := val[f]
+			if row != nil {
+				w = force(w, row[pin].ones&live, row[pin].zeros&live)
+			}
+			acc = logic.XorW(acc, w)
+		}
+		if op == logic.OpXnor {
+			acc = logic.NotW(acc)
+		}
+	default:
+		panic("fsim: prog.eval of unknown op")
+	}
+	return acc
+}

@@ -1,0 +1,367 @@
+package fsim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Simulator is a persistent, event-driven, fault-dropping fault
+// simulator. Where Run answers one (fault list, sequence) question from
+// scratch, a Simulator carries its bookkeeping across calls: faults
+// detected by one Simulate call are dropped from the injection tables
+// of the next, sparse groups are repacked into dense words between
+// sequences, and the flip-flop state words persist, so
+//
+//	s := NewSimulator(c, faults)
+//	s.Simulate(s1)
+//	s.Simulate(s2)
+//
+// produces exactly the DetectedAt map of Run(c, faults, append(s1,
+// s2...)). Call Reset between sequences to restart from the all-X state
+// instead (the ATPG fault-dropping pattern, where every test is an
+// independent sequence applied to an unsynchronized machine).
+//
+// A Simulator is not safe for concurrent use; internally it spreads
+// independent groups across goroutines when the live fault count is
+// large enough to pay for them.
+type Simulator struct {
+	c      *netlist.Circuit
+	faults []fault.Fault
+
+	detectedAt map[fault.Fault]int
+	dropped    map[fault.Fault]bool
+	groups     []*group
+	loc        map[fault.Fault]faultLoc
+	engines    []*eventEngine // one per worker, grown on demand
+	cycle      int            // absolute cycle count across Simulate calls
+	liveTotal  int
+	stats      Stats
+
+	// The good machine's trajectory is identical in every group (bit 0
+	// never sees an injection), so it is simulated exactly once per
+	// block and shared read-only by all group engines. goodState
+	// persists the good flip-flop words across Simulate calls; goodAt
+	// is the per-block scratch trajectory, one word row per cycle.
+	goodState []logic.W
+	goodAt    [][]logic.W
+	goodOrder []int
+
+	// forceParallel widens the worker pool regardless of the live fault
+	// count (RunParallel semantics); used by tests and RunParallel.
+	forceParallel bool
+}
+
+// faultLoc addresses one fault inside the current grouping.
+type faultLoc struct{ group, bit int }
+
+// NewSimulator creates a persistent simulator over the fault list. All
+// flip-flops start at X.
+func NewSimulator(c *netlist.Circuit, faults []fault.Fault) *Simulator {
+	order, _ := c.MustLevels()
+	s := &Simulator{
+		c:          c,
+		faults:     faults,
+		detectedAt: make(map[fault.Fault]int, len(faults)),
+		dropped:    make(map[fault.Fault]bool),
+		goodState:  make([]logic.W, len(c.DFFs)),
+		goodOrder:  order,
+	}
+	s.pack(faults)
+	return s
+}
+
+// pack (re)builds the group partition from the given live faults.
+func (s *Simulator) pack(live []fault.Fault) {
+	s.groups = s.groups[:0]
+	s.loc = make(map[fault.Fault]faultLoc, len(live))
+	for start := 0; start < len(live); start += GroupWidth {
+		end := start + GroupWidth
+		if end > len(live) {
+			end = len(live)
+		}
+		g := &group{
+			faults: live[start:end:end],
+			state:  make([]logic.W, len(s.c.DFFs)),
+		}
+		for k, f := range g.faults {
+			g.live |= uint64(1) << uint(k+1)
+			s.loc[f] = faultLoc{group: len(s.groups), bit: k + 1}
+		}
+		s.groups = append(s.groups, g)
+	}
+	s.liveTotal = len(live)
+}
+
+// Reset returns every flip-flop of every machine to X, so the next
+// Simulate call starts a fresh sequence from the unknown initial state.
+// Detection bookkeeping, dropped faults and the absolute cycle counter
+// are preserved.
+func (s *Simulator) Reset() {
+	for _, g := range s.groups {
+		for i := range g.state {
+			g.state[i] = logic.W{}
+		}
+	}
+	for i := range s.goodState {
+		s.goodState[i] = logic.W{}
+	}
+}
+
+// Drop removes the fault from further simulation (its injection bit is
+// masked out and it will never be reported detected). Dropping an
+// already-detected or unknown fault is a no-op. This is the hook for
+// callers that dispose of faults by other means -- a deterministic test
+// generator that just produced a test for it, or a redundancy proof.
+func (s *Simulator) Drop(f fault.Fault) {
+	if _, det := s.detectedAt[f]; det || s.dropped[f] {
+		return
+	}
+	l, ok := s.loc[f]
+	if !ok {
+		return
+	}
+	g := s.groups[l.group]
+	bit := uint64(1) << uint(l.bit)
+	if g.live&bit == 0 {
+		return
+	}
+	g.live &^= bit
+	s.dropped[f] = true
+	s.liveTotal--
+	s.stats.Drops++
+}
+
+// Simulate applies the sequence to every live machine, continuing from
+// the current flip-flop state, and returns the newly detected faults in
+// fault-list order. Detection cycles (see DetectedAt) are absolute: the
+// t-th vector of this call is cycle Cycles()+t.
+func (s *Simulator) Simulate(seq sim.Seq) []fault.Fault {
+	if len(seq) == 0 || s.liveTotal == 0 {
+		s.cycle += len(seq)
+		return nil
+	}
+	s.repack()
+	dets := s.runGroups(seq)
+	var newly []fault.Fault
+	for gi, g := range s.groups {
+		for _, d := range dets[gi] {
+			f := g.faults[d.k]
+			s.detectedAt[f] = d.t
+			s.liveTotal--
+			newly = append(newly, f)
+		}
+	}
+	sort.Slice(newly, func(i, j int) bool { return newly[i].Less(newly[j]) })
+	s.cycle += len(seq)
+	return newly
+}
+
+// goodBlock is the number of cycles of good-machine trajectory
+// materialized at a time. Blocking bounds the trajectory scratch to
+// goodBlock word rows regardless of sequence length.
+const goodBlock = 128
+
+// computeGood simulates the good machine over the block with a full
+// topological sweep per cycle, filling s.goodAt[t] with the broadcast
+// word of every node and advancing s.goodState. This runs once per
+// block and is amortized over every group.
+func (s *Simulator) computeGood(block sim.Seq) {
+	c := s.c
+	for len(s.goodAt) < len(block) {
+		s.goodAt = append(s.goodAt, make([]logic.W, len(c.Nodes)))
+	}
+	p := s.engines[0].prog
+	for t, in := range block {
+		row := s.goodAt[t]
+		for i, id := range c.Inputs {
+			row[id] = logic.WAll(in[i])
+		}
+		for i, id := range c.DFFs {
+			row[id] = s.goodState[i]
+		}
+		for _, id := range s.goodOrder {
+			row[id] = p.eval(id, row, nil, 0)
+		}
+		for i, id := range c.DFFs {
+			s.goodState[i] = row[c.Nodes[id].Fanin[0]]
+		}
+	}
+	s.stats.Cycles += int64(len(block))
+	s.stats.Evals += int64(len(block)) * int64(len(s.goodOrder))
+}
+
+// runGroups runs the sequence over every group in good-trajectory
+// blocks, spreading groups across workers when the workload pays for
+// it, and returns per-group detection lists.
+func (s *Simulator) runGroups(seq sim.Seq) [][]detection {
+	dets := make([][]detection, len(s.groups))
+	workers := 1
+	if procs := runtime.GOMAXPROCS(0); procs > 1 &&
+		(s.forceParallel || s.liveTotal > ParallelThreshold) {
+		workers = procs
+	}
+	if workers > len(s.groups) {
+		workers = len(s.groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(s.engines) < workers {
+		s.engines = append(s.engines, newEventEngine(s.c))
+	}
+	for start := 0; start < len(seq); start += goodBlock {
+		end := start + goodBlock
+		if end > len(seq) {
+			end = len(seq)
+		}
+		block := seq[start:end]
+		s.computeGood(block)
+		base := s.cycle + start
+		if workers <= 1 {
+			eng := s.engines[0]
+			for gi, g := range s.groups {
+				if g.live != 0 {
+					dets[gi] = eng.run(g, block, s.goodAt, base, dets[gi])
+				}
+			}
+			continue
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(eng *eventEngine) {
+				defer wg.Done()
+				for {
+					gi := int(next.Add(1)) - 1
+					if gi >= len(s.groups) {
+						return
+					}
+					if g := s.groups[gi]; g.live != 0 {
+						dets[gi] = eng.run(g, block, s.goodAt, base, dets[gi])
+					}
+				}
+			}(s.engines[w])
+		}
+		wg.Wait()
+	}
+	for _, eng := range s.engines {
+		s.stats.Add(eng.takeStats())
+	}
+	return dets
+}
+
+// repack consolidates sparse groups before a sequence: every group
+// whose live count has fallen below half of GroupWidth donates its
+// survivors to new, densely packed groups. Survivor state words are
+// remapped bit by bit, so repacking is invisible to the simulation
+// semantics; it only shrinks the number of group passes and tightens
+// the injection masks.
+func (s *Simulator) repack() {
+	var keep []*group
+	var donors []*group
+	for _, g := range s.groups {
+		switch {
+		case g.live == 0:
+			// fully detected/dropped; discard
+		case g.liveCount() < GroupWidth/2:
+			donors = append(donors, g)
+		default:
+			keep = append(keep, g)
+		}
+	}
+	if len(donors) == 0 && len(keep) == len(s.groups) {
+		return // nothing to do
+	}
+	// Only repack when it merges groups or drops dead ones; repacking a
+	// single sparse group in isolation buys nothing once its injection
+	// masks are already live-masked.
+	if len(donors) == 1 && len(keep)+1 == len(s.groups) {
+		return
+	}
+	s.stats.Repacks++
+	newGroups := keep
+	var cur *group
+	var curBit int
+	for _, g := range donors {
+		for k, f := range g.faults {
+			bit := uint64(1) << uint(k+1)
+			if g.live&bit == 0 {
+				continue
+			}
+			if cur == nil || curBit > GroupWidth {
+				cur = &group{state: make([]logic.W, len(s.c.DFFs))}
+				// The good machine's trajectory is identical in every
+				// group (it never sees an injection), so any donor's bit
+				// 0 seeds the new group's good state.
+				for i := range cur.state {
+					cur.state[i] = cur.state[i].Set(0, g.state[i].Get(0))
+				}
+				newGroups = append(newGroups, cur)
+				curBit = 1
+			}
+			cur.faults = append(cur.faults, f)
+			cur.live |= uint64(1) << uint(curBit)
+			for i := range cur.state {
+				cur.state[i] = cur.state[i].Set(uint(curBit), g.state[i].Get(uint(k+1)))
+			}
+			curBit++
+		}
+	}
+	s.groups = newGroups
+	s.loc = make(map[fault.Fault]faultLoc, s.liveTotal)
+	for gi, g := range s.groups {
+		for k, f := range g.faults {
+			if g.live&(uint64(1)<<uint(k+1)) != 0 {
+				s.loc[f] = faultLoc{group: gi, bit: k + 1}
+			}
+		}
+	}
+}
+
+// DetectedAt returns the detection map: fault to absolute first
+// detection cycle. The returned map is the simulator's own; treat it as
+// read-only.
+func (s *Simulator) DetectedAt() map[fault.Fault]int { return s.detectedAt }
+
+// Detected returns the number of detected faults so far.
+func (s *Simulator) Detected() int { return len(s.detectedAt) }
+
+// Cycles returns the number of vectors simulated so far across all
+// Simulate calls.
+func (s *Simulator) Cycles() int { return s.cycle }
+
+// LiveCount returns the number of faults still being simulated
+// (neither detected nor dropped).
+func (s *Simulator) LiveCount() int { return s.liveTotal }
+
+// Remaining returns the faults neither detected nor dropped, in
+// fault-list order.
+func (s *Simulator) Remaining() []fault.Fault {
+	var out []fault.Fault
+	for _, f := range s.faults {
+		if _, det := s.detectedAt[f]; !det && !s.dropped[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Stats returns the accumulated work counters.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Result snapshots the simulator into the Result shape Run returns.
+func (s *Simulator) Result() *Result {
+	det := make(map[fault.Fault]int, len(s.detectedAt))
+	for f, t := range s.detectedAt {
+		det[f] = t
+	}
+	return &Result{Circuit: s.c, Faults: s.faults, DetectedAt: det, Stats: s.stats}
+}

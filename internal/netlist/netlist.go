@@ -12,6 +12,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -60,6 +61,26 @@ type Circuit struct {
 	DFFs    []int
 
 	index map[string]int
+
+	// levels caches the topological order and per-node level computed by
+	// Levels. It is invalidated by rebuild and recomputed lazily; the
+	// atomic pointer makes concurrent readers (e.g. parallel fault-sim
+	// workers building engines over one shared circuit) race-free.
+	levels atomic.Pointer[levelCache]
+}
+
+// GateRef identifies one combinational-gate fanout together with its
+// cached level; see GateFanouts.
+type GateRef struct {
+	ID    int32
+	Level int32
+}
+
+// levelCache is the immutable payload behind Circuit.Levels.
+type levelCache struct {
+	gateOut [][]GateRef // per-node gate-only fanouts with levels
+	order   []int       // combinational gates in topological order
+	level   []int       // per-node level: inputs/DFFs 0, gates 1+max(fanin level)
 }
 
 // NumNodes returns the number of nodes.
@@ -86,6 +107,7 @@ func (c *Circuit) MustNodeID(name string) int {
 // rebuild recomputes the name index and fanout lists from Nodes and
 // validates structural invariants. Every constructor funnels through it.
 func (c *Circuit) rebuild() error {
+	c.levels.Store(nil) // structure is changing; drop the cached levelization
 	c.index = make(map[string]int, len(c.Nodes))
 	for id := range c.Nodes {
 		n := &c.Nodes[id]
@@ -157,8 +179,45 @@ func checkArity(n *Node) error {
 // Levelize returns the IDs of all combinational gates in topological
 // order, treating primary inputs and DFF outputs as sources. It reports
 // an error if the combinational logic contains a cycle (a feedback loop
-// with no DFF on it).
+// with no DFF on it). The result is cached on the circuit; see Levels.
 func (c *Circuit) Levelize() ([]int, error) {
+	order, _, err := c.Levels()
+	return order, err
+}
+
+// Levels returns the cached levelization of the circuit: the
+// combinational gates in topological order, and a per-node level where
+// primary inputs and DFF outputs sit at level 0 and every gate sits one
+// above its deepest fanin. The computation runs once per circuit
+// structure (rebuild invalidates the cache) and the cached slices are
+// shared -- callers must not mutate them. It reports an error if the
+// combinational logic contains a cycle.
+func (c *Circuit) Levels() (order []int, level []int, err error) {
+	if lc := c.levels.Load(); lc != nil {
+		return lc.order, lc.level, nil
+	}
+	lc, err := c.computeLevels()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.levels.Store(lc)
+	return lc.order, lc.level, nil
+}
+
+// MustLevels is Levels for circuits already validated by construction
+// (every constructor funnels through rebuild, which rejects cycles); it
+// panics on the error that can therefore no longer happen.
+func (c *Circuit) MustLevels() (order []int, level []int) {
+	order, level, err := c.Levels()
+	if err != nil {
+		panic(err)
+	}
+	return order, level
+}
+
+// computeLevels performs the actual topological sort and level
+// assignment behind Levels.
+func (c *Circuit) computeLevels() (*levelCache, error) {
 	indeg := make([]int, len(c.Nodes))
 	for id := range c.Nodes {
 		if c.Nodes[id].Kind != KindGate {
@@ -200,7 +259,42 @@ func (c *Circuit) Levelize() ([]int, error) {
 	if len(order) != gates {
 		return nil, fmt.Errorf("netlist: circuit %q has a combinational cycle", c.Name)
 	}
-	return order, nil
+	level := make([]int, len(c.Nodes))
+	for _, id := range order {
+		max := 0
+		for _, f := range c.Nodes[id].Fanin {
+			if level[f] > max {
+				max = level[f]
+			}
+		}
+		level[id] = max + 1
+	}
+	gateOut := make([][]GateRef, len(c.Nodes))
+	for id := range c.Nodes {
+		for _, s := range c.Nodes[id].Fanout {
+			if c.Nodes[s].Kind == KindGate {
+				gateOut[id] = append(gateOut[id], GateRef{ID: int32(s), Level: int32(level[s])})
+			}
+		}
+	}
+	return &levelCache{order: order, level: level, gateOut: gateOut}, nil
+}
+
+// GateFanouts returns, for every node, its combinational-gate fanouts
+// annotated with their levels -- the event lists of an event-driven
+// simulator. The result is cached with Levels and shared; callers must
+// not mutate it. Like MustLevels it panics on a combinational cycle,
+// which construction has already ruled out.
+func (c *Circuit) GateFanouts() [][]GateRef {
+	if lc := c.levels.Load(); lc != nil {
+		return lc.gateOut
+	}
+	lc, err := c.computeLevels()
+	if err != nil {
+		panic(err)
+	}
+	c.levels.Store(lc)
+	return lc.gateOut
 }
 
 // Clone returns a deep copy of the circuit.

@@ -101,6 +101,57 @@ func TestLevelizeOrder(t *testing.T) {
 	}
 }
 
+// TestLevelsCachedAndConsistent checks the cached accessor: repeated
+// calls return the same shared slices, levels respect fanin order, and
+// MustLevels agrees with Levels on validated circuits.
+func TestLevelsCachedAndConsistent(t *testing.T) {
+	c := Fig2C1()
+	o1, l1, err := c.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, l2, _ := c.Levels()
+	if &o1[0] != &o2[0] || &l1[0] != &l2[0] {
+		t.Error("Levels must return the cached slices on repeated calls")
+	}
+	mo, ml := c.MustLevels()
+	if &mo[0] != &o1[0] || &ml[0] != &l1[0] {
+		t.Error("MustLevels must share the Levels cache")
+	}
+	if len(l1) != len(c.Nodes) {
+		t.Fatalf("level slice has %d entries for %d nodes", len(l1), len(c.Nodes))
+	}
+	for _, id := range c.Inputs {
+		if l1[id] != 0 {
+			t.Errorf("input %d at level %d, want 0", id, l1[id])
+		}
+	}
+	for _, id := range c.DFFs {
+		if l1[id] != 0 {
+			t.Errorf("dff %d at level %d, want 0", id, l1[id])
+		}
+	}
+	for _, id := range o1 {
+		lev := l1[id]
+		if lev < 1 {
+			t.Errorf("gate %d at level %d, want >= 1", id, lev)
+		}
+		for _, f := range c.Nodes[id].Fanin {
+			if l1[f] >= lev {
+				t.Errorf("gate %d (level %d) has fanin %d at level %d", id, lev, f, l1[f])
+			}
+		}
+	}
+	// Levelize delegates to the same cache.
+	lo, err := c.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &lo[0] != &o1[0] {
+		t.Error("Levelize must return the cached order")
+	}
+}
+
 func TestBenchRoundTrip(t *testing.T) {
 	for _, c := range []*Circuit{
 		buildToy(t), Fig2C1(), Fig2C2(), Fig3L1(), Fig3L2(), Fig5N1(), Fig5N2(),

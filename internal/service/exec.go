@@ -92,6 +92,7 @@ func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit
 	}); err != nil {
 		return nil, err
 	}
+	s.recordFsim(res.FsimStats)
 	det, red, ab := res.Counts()
 	out := &ATPGResult{
 		Faults:          len(faults),
@@ -129,6 +130,7 @@ func (s *Service) execFaultSim(ctx context.Context, req *Request, c *netlist.Cir
 	}); err != nil {
 		return nil, err
 	}
+	s.recordFsim(res.Stats)
 	out := &FaultSimResult{
 		Faults:   len(faults),
 		Detected: res.Detected(),
@@ -168,6 +170,7 @@ func (s *Service) execDerive(ctx context.Context, req *Request, c *netlist.Circu
 			return nil, err
 		}
 	}
+	s.recordFsim(flow.ImplResult.Stats)
 	out := &DeriveResult{
 		EasyDFFs:     len(flow.Pair.Original.DFFs),
 		ImplDFFs:     len(flow.Pair.Retimed.DFFs),
@@ -179,6 +182,18 @@ func (s *Service) execDerive(ctx context.Context, req *Request, c *netlist.Circu
 		ImplCoverage: flow.ImplResult.Coverage(),
 	}
 	return &Result{Derive: out}, nil
+}
+
+// recordFsim accumulates fault-simulation work counters into the
+// service registry so /metrics exposes how much simulation the engine
+// actually performed (event-driven evaluations, not the full-sweep
+// effort estimate) and how hard fault dropping and repacking worked.
+func (s *Service) recordFsim(st fsim.Stats) {
+	s.reg.Counter("fsim.evals").Add(st.Evals)
+	s.reg.Counter("fsim.cycles").Add(st.Cycles)
+	s.reg.Counter("fsim.drops").Add(st.Drops)
+	s.reg.Counter("fsim.repacks").Add(st.Repacks)
+	s.reg.Gauge("fsim.events_per_cycle").Set(int64(st.EventsPerCycle()))
 }
 
 func vecStrings(seq sim.Seq) []string {

@@ -24,10 +24,7 @@ func NewBinary(c *netlist.Circuit) *BinarySim {
 	if len(c.DFFs) > 64 || len(c.Inputs) > 64 || len(c.Outputs) > 64 {
 		panic(fmt.Sprintf("sim: circuit %q too wide for BinarySim", c.Name))
 	}
-	order, err := c.Levelize()
-	if err != nil {
-		panic(err)
-	}
+	order, _ := c.MustLevels()
 	return &BinarySim{c: c, order: order, val: make([]bool, len(c.Nodes)), buf: make([]bool, 8)}
 }
 

@@ -85,10 +85,7 @@ type Simulator struct {
 // New creates a simulator for the circuit. It panics if the circuit has
 // a combinational cycle (construction already rejects those).
 func New(c *netlist.Circuit) *Simulator {
-	order, err := c.Levelize()
-	if err != nil {
-		panic(err)
-	}
+	order, _ := c.MustLevels()
 	s := &Simulator{
 		c:     c,
 		order: order,

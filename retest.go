@@ -56,6 +56,13 @@ type (
 	ATPGResult = atpg.Result
 	// FaultSimResult is a fault-simulation outcome.
 	FaultSimResult = fsim.Result
+	// FaultSimulator is the persistent, event-driven, fault-dropping
+	// simulator behind FaultSimulate; use it directly to carry state
+	// and dropped faults across sequences.
+	FaultSimulator = fsim.Simulator
+	// FaultSimStats counts fault-simulation work (cycles, gate
+	// evaluations, drops, repacks).
+	FaultSimStats = fsim.Stats
 	// Fig6Result is the outcome of the retime-for-testability flow.
 	Fig6Result = core.Fig6Result
 	// PrefixFill selects how arbitrary prefix vectors are filled.
@@ -124,6 +131,13 @@ func ATPG(c *Circuit, faults []Fault, opt ATPGOptions) *ATPGResult { return atpg
 // state and reports detections.
 func FaultSimulate(c *Circuit, faults []Fault, seq Seq) *FaultSimResult {
 	return fsim.Run(c, faults, seq)
+}
+
+// NewFaultSimulator creates a persistent fault simulator over the
+// fault list, for incremental Simulate/Drop workflows (the ATPG
+// fault-dropping pattern).
+func NewFaultSimulator(c *Circuit, faults []Fault) *FaultSimulator {
+	return fsim.NewSimulator(c, faults)
 }
 
 // CoverageCurve returns cumulative fault detections after each vector.

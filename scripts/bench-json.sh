@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench-json.sh — convert `go test -bench` output (benchmarks/latest.txt
+# by default, or the file named in $1) to a JSON object keyed by
+# benchmark name:
+#
+#   {"BenchmarkFsimEventDriven": {"ns_per_op": 18240768,
+#                                 "bytes_per_op": 966593,
+#                                 "allocs_per_op": 320}, ...}
+#
+# Missing -benchmem columns are reported as null. The committed
+# BENCH_fsim.json is produced with
+#
+#   scripts/bench-json.sh benchmarks/latest.txt > BENCH_fsim.json
+set -eu
+cd "$(dirname "$0")/.."
+
+IN="${1:-benchmarks/latest.txt}"
+if [ ! -f "$IN" ]; then
+    echo "bench-json: $IN missing; run scripts/bench.sh first" >&2
+    exit 1
+fi
+
+awk '
+    /^Benchmark/ {
+        name = $1
+        ns = bytes = allocs = "null"
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op")    ns = $i
+            if ($(i + 1) == "B/op")     bytes = $i
+            if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        # Last run of a repeated benchmark wins, matching bench-compare.
+        row[name] = sprintf("  %c%s%c: {%cns_per_op%c: %s, %cbytes_per_op%c: %s, %callocs_per_op%c: %s}",
+            34, name, 34, 34, 34, ns, 34, 34, bytes, 34, 34, allocs)
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        print "{"
+        for (i = 1; i <= n; i++)
+            printf "%s%s\n", row[order[i]], (i < n ? "," : "")
+        print "}"
+    }
+' "$IN"

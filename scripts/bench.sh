@@ -1,16 +1,16 @@
 #!/bin/sh
 # bench.sh — run the tracked benchmark set and write benchmarks/latest.txt.
 #
-#   BENCH_PKGS     packages to benchmark   (default: ./internal/fsim)
-#   BENCH_PATTERN  -bench regexp           (default: BenchmarkFsim)
+#   BENCH_PKGS     packages to benchmark   (default: ./internal/fsim ./internal/atpg)
+#   BENCH_PATTERN  -bench regexp           (default: BenchmarkFsim|BenchmarkATPGWithDropping)
 #   BENCH_COUNT    -count                  (default: 1)
 #
 # Review the result, then promote it with scripts/bench-update.sh.
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="${BENCH_PKGS:-./internal/fsim}"
-PATTERN="${BENCH_PATTERN:-BenchmarkFsim}"
+PKGS="${BENCH_PKGS:-./internal/fsim ./internal/atpg}"
+PATTERN="${BENCH_PATTERN:-BenchmarkFsim|BenchmarkATPGWithDropping}"
 COUNT="${BENCH_COUNT:-1}"
 
 mkdir -p benchmarks

@@ -18,6 +18,9 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== go test -race (concurrency-heavy packages, fail fast)"
+go test -race -count=1 ./internal/fsim/... ./internal/service/...
+
 echo "== go test -race"
 go test -race ./...
 
