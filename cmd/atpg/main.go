@@ -4,10 +4,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/fault"
@@ -26,6 +30,7 @@ func cliMain(args []string, stderr io.Writer) int {
 	backtracks := fs.Int("backtracks", 200, "PODEM backtrack limit per fault")
 	budget := fs.Int64("budget", 2_000_000, "gate-evaluation budget per fault (0 = unlimited)")
 	random := fs.Bool("random", true, "run the random-sequence pre-phase")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); partial results are still reported")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: atpg [flags] in.bench\n")
 		fs.PrintDefaults()
@@ -37,14 +42,14 @@ func cliMain(args []string, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := run(fs.Arg(0), *frames, *backtracks, *budget, *random); err != nil {
+	if err := run(fs.Arg(0), *frames, *backtracks, *budget, *random, *timeout); err != nil {
 		fmt.Fprintln(stderr, "atpg:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(path string, frames, backtracks int, budget int64, random bool) error {
+func run(path string, frames, backtracks int, budget int64, random bool, timeout time.Duration) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -60,7 +65,21 @@ func run(path string, frames, backtracks int, budget int64, random bool) error {
 	opt.MaxBacktracks = backtracks
 	opt.MaxEvalsPerFault = budget
 	opt.RandomPhase = random
-	res := atpg.Run(c, reps, opt)
+
+	// Ctrl-C (or the -timeout deadline) interrupts the generator at its
+	// next cooperative check; the tests found so far are still written,
+	// with a note that the run was cut short.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, ctxErr := atpg.RunContext(ctx, c, reps, opt)
+	if ctxErr != nil {
+		fmt.Fprintf(os.Stderr, "atpg: interrupted (%v); reporting partial results\n", ctxErr)
+	}
 
 	det, red, ab := res.Counts()
 	fmt.Fprintf(os.Stderr, "%s: %d collapsed faults\n", c.Name, len(reps))

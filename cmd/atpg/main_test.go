@@ -30,13 +30,13 @@ func TestRunGeneratesTests(t *testing.T) {
 	if err := os.WriteFile(path, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 6, 50, 100_000, true); err != nil {
+	if err := run(path, 6, 50, 100_000, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.bench"), 6, 50, 0, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.bench"), 6, 50, 0, false, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -5,11 +5,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/fsim"
@@ -26,6 +30,7 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	tests := fs.String("tests", "", "test set file (default: stdin)")
 	list := fs.Bool("undetected", false, "list undetected faults")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); partial coverage is still reported")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: faultsim [-tests vectors.txt] [-undetected] in.bench\n")
 		fs.PrintDefaults()
@@ -37,14 +42,14 @@ func cliMain(args []string, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := run(fs.Arg(0), *tests, *list); err != nil {
+	if err := run(fs.Arg(0), *tests, *list, *timeout); err != nil {
 		fmt.Fprintln(stderr, "faultsim:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(path, testsPath string, listUndet bool) error {
+func run(path, testsPath string, listUndet bool, timeout time.Duration) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -81,7 +86,20 @@ func run(path, testsPath string, listUndet bool) error {
 	}
 
 	reps, _ := fault.Collapse(c)
-	res := fsim.Run(c, reps, seq)
+	// Ctrl-C (or the -timeout deadline) stops simulation at the next
+	// 128-cycle block boundary; coverage over the processed prefix is
+	// still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, ctxErr := fsim.RunContext(ctx, c, reps, seq)
+	if ctxErr != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: interrupted (%v); reporting partial coverage\n", ctxErr)
+	}
 	fmt.Printf("%s: %d collapsed faults, %d vectors\n", c.Name, len(reps), len(seq))
 	fmt.Printf("detected %d, undetected %d, coverage %.2f%%\n",
 		res.Detected(), len(reps)-res.Detected(), res.Coverage())

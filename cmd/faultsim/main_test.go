@@ -33,7 +33,7 @@ func TestRunFaultSim(t *testing.T) {
 	if err := os.WriteFile(tests, []byte("# two vectors\n11\n00\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bench, tests, true); err != nil {
+	if err := run(bench, tests, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,7 +49,7 @@ func TestRunRejectsWidthMismatch(t *testing.T) {
 	if err := os.WriteFile(tests, []byte("101\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bench, tests, false); err == nil {
+	if err := run(bench, tests, false, 0); err == nil {
 		t.Fatal("width mismatch accepted")
 	}
 }

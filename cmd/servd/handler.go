@@ -17,13 +17,22 @@ func newHandler(svc *service.Service) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+				return
+			}
 			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
 		id, err := svc.Submit(req)
 		switch {
 		case errors.Is(err, service.ErrQueueFull):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			// Overload is transient back-pressure, not unavailability:
+			// 429 plus a Retry-After hint tells well-behaved clients to
+			// pace themselves instead of giving up.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, service.ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err.Error())
 		case err != nil:
@@ -34,6 +43,14 @@ func newHandler(svc *service.Service) http.Handler {
 				"status": string(service.StatusQueued),
 			})
 		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := svc.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.List())

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/service"
+)
+
+func submitRaw(t *testing.T, srv *httptest.Server, req service.Request) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	srv := newTestServer(t, service.Config{Workers: 1})
+	id := postJob(t, srv, service.Request{
+		Kind:  service.KindATPG,
+		Bench: benchCircuit(t, 300, 24),
+		ATPG:  &service.ATPGSpec{MaxEvalsTotal: 500_000_000},
+	})
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v service.View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d, decode %v", resp.StatusCode, err)
+	}
+	if got := pollJob(t, srv, id); got.Status != service.StatusCancelled {
+		t.Fatalf("cancelled job ended %s: %s", got.Status, got.Error)
+	}
+
+	// Unknown ID is a 404, same as GET.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/job-999999", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestQueueFull429(t *testing.T) {
+	srv := newTestServer(t, service.Config{Workers: 1, QueueDepth: 1})
+	heavy := service.Request{
+		Kind:  service.KindATPG,
+		Bench: benchCircuit(t, 300, 24),
+		ATPG:  &service.ATPGSpec{MaxEvalsTotal: 500_000_000},
+	}
+	running := postJob(t, srv, heavy)
+	// Wait until the first job occupies the worker so the next fills the
+	// queue deterministically.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + running)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.View
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if v.Status == service.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", v.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	postJob(t, srv, heavy) // fills the queue
+
+	resp := submitRaw(t, srv, heavy)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+	var e struct{ Error string }
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("429 body not a JSON error: %v", err)
+	}
+}
+
+// TestBodyTooLarge413 exercises the MaxBytesHandler wrapping that
+// serve() installs: an oversized submission is rejected with 413, not
+// read to the end.
+func TestBodyTooLarge413(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	srv := httptest.NewServer(http.MaxBytesHandler(newHandler(svc), 1<<10))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	big := service.Request{Kind: service.KindATPG, Bench: strings.Repeat("# filler\n", 1<<10)}
+	body, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestJournaledServiceOverHTTP restarts the HTTP stack on the same
+// journal: jobs submitted to the first incarnation are visible, with
+// results, from the second.
+func TestJournaledServiceOverHTTP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	svc1, err := service.Open(service.Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(newHandler(svc1))
+	id := postJob(t, srv1, service.Request{
+		Kind:  service.KindRetime,
+		Bench: netlist.BenchString(netlist.Fig2C1()),
+	})
+	v1 := pollJob(t, srv1, id)
+	if v1.Status != service.StatusDone {
+		t.Fatalf("first life: %s %q", v1.Status, v1.Error)
+	}
+	srv1.Close()
+	svc1.Close()
+
+	svc2, err := service.Open(service.Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(newHandler(svc2))
+	t.Cleanup(func() {
+		srv2.Close()
+		svc2.Close()
+	})
+	v2 := pollJob(t, srv2, id)
+	if v2.Status != service.StatusDone {
+		t.Fatalf("second life: %s %q", v2.Status, v2.Error)
+	}
+	a, _ := json.Marshal(v1.Result)
+	b, _ := json.Marshal(v2.Result)
+	if !bytes.Equal(a, b) {
+		t.Fatal("journaled result changed across restart")
+	}
+}

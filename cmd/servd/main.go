@@ -2,14 +2,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs        submit a job (JSON service.Request); returns {"id": ...}
-//	GET  /v1/jobs        list jobs, newest first
-//	GET  /v1/jobs/{id}   poll one job's status and result
-//	GET  /healthz        liveness probe
-//	GET  /metrics        the metrics registry as one JSON object
+//	POST   /v1/jobs        submit a job (JSON service.Request); returns {"id": ...}
+//	GET    /v1/jobs        list jobs, newest first
+//	GET    /v1/jobs/{id}   poll one job's status and result
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /healthz        liveness probe
+//	GET    /metrics        the metrics registry as one JSON object
 //
 // Circuits are submitted as ISCAS-89 bench text in the request body;
 // see the README section "Running the service" for curl examples.
+//
+// With -journal, accepted jobs are recorded in an append-only
+// JSON-lines file and survive restarts: on startup the journal is
+// replayed and any job that was queued or running when the previous
+// process died is re-queued. On SIGINT/SIGTERM the server drains
+// gracefully for -drain before cancelling stragglers.
 package main
 
 import (
@@ -36,8 +43,12 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 64, "job queue depth")
 	timeout := fs.Duration("timeout", 60*time.Second, "default per-job timeout")
+	journal := fs.String("journal", "", "job journal path (empty = in-memory only)")
+	syncJournal := fs.Bool("sync-journal", false, "fsync the journal after every entry")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d]\n")
+		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d] [-journal file] [-drain d]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -47,22 +58,37 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := serve(*addr, *workers, *queue, *timeout, stdout); err != nil {
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		JournalPath:    *journal,
+		SyncJournal:    *syncJournal,
+	}
+	if err := serve(*addr, cfg, *drain, *maxBody, stdout); err != nil {
 		fmt.Fprintln(stderr, "servd:", err)
 		return 1
 	}
 	return 0
 }
 
-func serve(addr string, workers, queue int, timeout time.Duration, stdout io.Writer) error {
-	svc := service.New(service.Config{
-		Workers:        workers,
-		QueueDepth:     queue,
-		DefaultTimeout: timeout,
-	})
-	defer svc.Close()
+func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, stdout io.Writer) error {
+	svc, err := service.Open(cfg)
+	if err != nil {
+		return err
+	}
 
-	srv := &http.Server{Addr: addr, Handler: newHandler(svc)}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: http.MaxBytesHandler(newHandler(svc), maxBody),
+		// Slow-client limits: a peer trickling headers or a body, or
+		// parking idle keep-alive connections, cannot pin goroutines
+		// forever. Deliberately no WriteTimeout -- result payloads for
+		// large jobs can legitimately take a while to stream.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -72,12 +98,20 @@ func serve(addr string, workers, queue int, timeout time.Duration, stdout io.Wri
 
 	select {
 	case err := <-errc:
+		svc.Close()
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			svc.Close()
 			return err
+		}
+		// HTTP is quiet; now drain the job pool within the same budget.
+		// Jobs still running at the deadline are cancelled -- with a
+		// journal they re-run on the next start.
+		if err := svc.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(stdout, "servd: drain cut short:", err)
 		}
 		fmt.Fprintln(stdout, "servd: shut down")
 		return nil

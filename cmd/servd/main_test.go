@@ -67,7 +67,7 @@ func pollJob(t *testing.T, srv *httptest.Server, id string) service.View {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Status == service.StatusDone || v.Status == service.StatusFailed {
+		if v.Status.Terminal() {
 			return v
 		}
 		if time.Now().After(deadline) {

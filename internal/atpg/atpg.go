@@ -13,6 +13,7 @@
 package atpg
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/fault"
@@ -163,6 +164,18 @@ func (r *Result) FaultEfficiency() float64 {
 
 // Run generates tests for the fault list.
 func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
+	res, _ := RunContext(context.Background(), c, faults, opt)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation. The context is
+// checked before every test-generation attempt (random-phase sequence or
+// deterministic target fault) and periodically inside the PODEM search,
+// so a cancelled run stops within one check interval. On early stop it
+// returns the partial result -- faults not yet decided count as aborted
+// -- together with the context error. With a never-cancelled context the
+// result is byte-identical to Run.
+func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opt Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{
 		Circuit: c,
@@ -180,29 +193,46 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
 	// (cycles x nodes x word groups over the survivors), not the much
 	// smaller measured event-driven work, so MaxEvalsTotal budgets keep
 	// their pre-incremental meaning; FsimStats carries the real counts.
+	finish := func(err error) (*Result, error) {
+		res.FsimStats = g.stats()
+		res.Effort.Time = time.Since(start)
+		return res, err
+	}
+
 	if opt.RandomPhase && opt.RandomCount > 0 && opt.RandomLength > 0 {
 		rngSeq := randomSequences(len(c.Inputs), opt)
 		for _, seq := range rngSeq {
+			if err := ctx.Err(); err != nil {
+				return finish(err)
+			}
 			live := g.liveCount()
 			if live == 0 {
 				break
 			}
-			newly := g.grade(seq)
+			newly, gradeErr := g.grade(ctx, seq)
 			res.Effort.Evals += int64(len(seq)) * int64(len(c.Nodes)) * int64((live+fsim.GroupWidth-1)/fsim.GroupWidth)
-			if len(newly) == 0 {
-				continue
+			// Record detections even on a cancelled grade: they keep the
+			// Status map consistent with the grader's own bookkeeping.
+			if len(newly) > 0 {
+				res.Tests = append(res.Tests, seq)
+				res.TestSet = append(res.TestSet, seq...)
+				for _, f := range newly {
+					res.Status[f] = StatusDetected
+				}
 			}
-			res.Tests = append(res.Tests, seq)
-			res.TestSet = append(res.TestSet, seq...)
-			for _, f := range newly {
-				res.Status[f] = StatusDetected
+			if gradeErr != nil {
+				return finish(gradeErr)
 			}
 		}
 	}
 
 	eng := newEngine(c, opt)
+	eng.ctx = ctx
 	remaining := g.remaining()
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		f := remaining[0]
 		remaining = remaining[1:]
 		// The target leaves the grading set whatever generate decides:
@@ -217,6 +247,9 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
 		res.Effort.Evals += eng.evals
 		res.Effort.Backtracks += eng.backtracks
 		res.Status[f] = status
+		if eng.cancelled {
+			return finish(ctx.Err())
+		}
 		if status != StatusDetected {
 			continue
 		}
@@ -224,17 +257,18 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
 		res.TestSet = append(res.TestSet, seq...)
 		// Fault dropping: simulate the new test over the survivors.
 		if live := g.liveCount(); live > 0 {
-			newly := g.grade(seq)
+			newly, gradeErr := g.grade(ctx, seq)
 			res.Effort.Evals += int64(len(seq)) * int64(len(c.Nodes)) * int64((live+fsim.GroupWidth-1)/fsim.GroupWidth)
 			for _, d := range newly {
 				res.Status[d] = StatusDetected
 			}
+			if gradeErr != nil {
+				return finish(gradeErr)
+			}
 			remaining = g.remaining()
 		}
 	}
-	res.FsimStats = g.stats()
-	res.Effort.Time = time.Since(start)
-	return res
+	return finish(nil)
 }
 
 // randomSequences builds the deterministic random-phase stimuli. Each

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"context"
+
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/logic"
@@ -46,6 +48,15 @@ type engine struct {
 	// reconvergent logic whose paths all end at the uncontrollable
 	// initial state.
 	btFail map[btKey]bool
+
+	// ctx enables cooperative cancellation of the search (nil = never
+	// cancelled). It is polled every 256 PODEM decisions via ctxCtr, a
+	// granularity coarse enough to stay off the profile; cancelled
+	// latches the outcome so the iterative-deepening loop and any
+	// remaining generate calls unwind immediately.
+	ctx       context.Context
+	ctxCtr    uint
+	cancelled bool
 }
 
 // btKey identifies a failed backtrace subgoal.
@@ -141,6 +152,9 @@ func (e *engine) generate(f fault.Fault) (sim.Seq, FaultStatus) {
 	e.f = f
 	e.evals, e.backtracks = 0, 0
 	e.budget = e.opt.MaxEvalsPerFault
+	if e.cancelled {
+		return nil, StatusAborted
+	}
 
 	if e.opt.IdentifyRedundant {
 		found, exhausted := e.podem(1, true)
@@ -152,6 +166,9 @@ func (e *engine) generate(f fault.Fault) (sim.Seq, FaultStatus) {
 		found, _ := e.podem(n, false)
 		if found {
 			return e.extractTest(), StatusDetected
+		}
+		if e.cancelled {
+			break
 		}
 		if e.budget > 0 && e.evals >= e.budget {
 			break
@@ -205,6 +222,13 @@ func (e *engine) podem(n int, free bool) (found, exhausted bool) {
 	for {
 		if e.budget > 0 && e.evals >= e.budget {
 			return false, false
+		}
+		if e.ctx != nil {
+			e.ctxCtr++
+			if e.cancelled || e.ctxCtr&255 == 0 && e.ctx.Err() != nil {
+				e.cancelled = true
+				return false, false
+			}
 		}
 		e.simulate()
 		if e.detected() {

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"context"
+
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
@@ -16,8 +18,11 @@ import (
 // the incremental engine in tests.
 type grader interface {
 	// grade simulates seq from the unknown initial state over the
-	// surviving faults, retires the detected ones, and returns them.
-	grade(seq sim.Seq) []fault.Fault
+	// surviving faults, retires the detected ones, and returns them. A
+	// cancelled context stops the simulation within one fsim block; the
+	// detections of the processed prefix are still retired and returned
+	// alongside the context error.
+	grade(ctx context.Context, seq sim.Seq) ([]fault.Fault, error)
 	// drop retires a fault out of band (generated, aborted, redundant).
 	drop(f fault.Fault)
 	// liveCount returns the number of surviving faults.
@@ -37,9 +42,9 @@ func newSimGrader(c *netlist.Circuit, faults []fault.Fault) *simGrader {
 	return &simGrader{s: fsim.NewSimulator(c, faults)}
 }
 
-func (g *simGrader) grade(seq sim.Seq) []fault.Fault {
+func (g *simGrader) grade(ctx context.Context, seq sim.Seq) ([]fault.Fault, error) {
 	g.s.Reset()
-	return g.s.Simulate(seq)
+	return g.s.SimulateContext(ctx, seq)
 }
 
 func (g *simGrader) drop(f fault.Fault)       { g.s.Drop(f) }
@@ -58,10 +63,15 @@ func newOracleGrader(c *netlist.Circuit, faults []fault.Fault) *oracleGrader {
 	return &oracleGrader{c: c, rem: append([]fault.Fault(nil), faults...)}
 }
 
-func (g *oracleGrader) grade(seq sim.Seq) []fault.Fault {
+func (g *oracleGrader) grade(ctx context.Context, seq sim.Seq) ([]fault.Fault, error) {
+	// The oracle is a test/benchmark cost model; it honors cancellation
+	// only between sequences (full-sweep runs are not interruptible).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := fsim.RunSequential(g.c, g.rem, seq)
 	if len(res.DetectedAt) == 0 {
-		return nil
+		return nil, nil
 	}
 	detected := make([]fault.Fault, 0, len(res.DetectedAt))
 	keep := g.rem[:0]
@@ -73,7 +83,7 @@ func (g *oracleGrader) grade(seq sim.Seq) []fault.Fault {
 		}
 	}
 	g.rem = keep
-	return detected
+	return detected, nil
 }
 
 func (g *oracleGrader) drop(f fault.Fault) {

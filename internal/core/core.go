@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -62,9 +63,15 @@ func BuildPair(g *retime.Graph, r retime.Retiming, origName, retName string) (*R
 // paper's performance-driven direction that Table II targets -- and
 // returns the pair plus the old and new periods.
 func MinPeriodPair(c *netlist.Circuit) (*RetimedPair, int, int, error) {
+	return MinPeriodPairContext(context.Background(), c)
+}
+
+// MinPeriodPairContext is MinPeriodPair with cooperative cancellation,
+// threaded into the retiming solver.
+func MinPeriodPairContext(ctx context.Context, c *netlist.Circuit) (*RetimedPair, int, int, error) {
 	g := retime.FromCircuit(c)
 	before := g.Period()
-	r, after, err := g.MinPeriod()
+	r, after, err := g.MinPeriodContext(ctx)
 	if err != nil {
 		return nil, 0, 0, err
 	}

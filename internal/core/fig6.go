@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/atpg"
@@ -36,9 +37,19 @@ type Fig6Result struct {
 // the exact min-cost-flow solver where the graph permits, the greedy
 // hill climber beyond that.
 func Fig6Flow(impl *netlist.Circuit, opt atpg.Options) (*Fig6Result, error) {
+	return Fig6FlowContext(context.Background(), impl, opt)
+}
+
+// Fig6FlowContext is Fig6Flow with cooperative cancellation threaded
+// through every stage (register minimization, ATPG, fault simulation),
+// so a cancelled flow stops within one stage's check interval.
+func Fig6FlowContext(ctx context.Context, impl *netlist.Circuit, opt atpg.Options) (*Fig6Result, error) {
 	g := retime.FromCircuit(impl)
-	rmin, _, err := g.MinRegisters()
+	rmin, _, err := g.MinRegistersContext(ctx)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		rmin = g.ReduceRegisters(g.Zero(), math.MaxInt)
 	}
 	easyGraph, err := g.Retime(rmin)
@@ -53,11 +64,17 @@ func Fig6Flow(impl *netlist.Circuit, opt atpg.Options) (*Fig6Result, error) {
 	}
 
 	easyFaults, _ := fault.Collapse(pair.Original)
-	res := atpg.Run(pair.Original, easyFaults, opt)
+	res, err := atpg.RunContext(ctx, pair.Original, easyFaults, opt)
+	if err != nil {
+		return nil, err
+	}
 	derived := pair.DeriveTestSet(res.TestSet, FillZeros, 0)
 
 	implFaults, _ := fault.Collapse(pair.Retimed)
-	implRes := fsim.Run(pair.Retimed, implFaults, derived)
+	implRes, err := fsim.RunContext(ctx, pair.Retimed, implFaults, derived)
+	if err != nil {
+		return nil, err
+	}
 	return &Fig6Result{
 		Pair:       pair,
 		EasyATPG:   res,

@@ -1,0 +1,139 @@
+// Package failpoint is a tiny fault-injection registry for chaos and
+// robustness tests. Production code sprinkles named Inject calls at
+// interesting points (stage boundaries, journal writes); tests arm
+// those points with actions -- return an error, panic, sleep, or run an
+// arbitrary callback -- and the instrumented code misbehaves on cue.
+//
+// When no point is armed the registry is inert: Inject is a single
+// atomic load, so instrumentation is free in production builds. Points
+// can also be armed from the environment for CLI-level chaos runs:
+//
+//	RETEST_FAILPOINTS="stage.atpg=error:boom;journal.write=sleep:50ms"
+//
+// arms stage.atpg with an error action and journal.write with a 50ms
+// delay. Supported env actions are error:<msg>, panic:<msg> and
+// sleep:<duration>; unparsable entries are ignored (the registry must
+// never take a process down by itself).
+package failpoint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable scanned once, at program
+// start, for failpoints to arm.
+const EnvVar = "RETEST_FAILPOINTS"
+
+var (
+	armed  atomic.Int64 // number of armed points; 0 = registry inert
+	mu     sync.Mutex
+	points = map[string]func() error{}
+)
+
+// Env arming must happen at init, not lazily on first use: Inject's
+// fast path returns before touching anything when armed is zero, so a
+// lazy parse would never run in a process that only ever Injects.
+func init() { parseEnv() }
+
+// Enable arms the named point with an action. The action runs on every
+// Inject(name) until Disable; it may return an error (propagated to the
+// instrumented code), panic, sleep, or mutate test state.
+func Enable(name string, action func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = action
+}
+
+// Disable disarms the named point; a no-op when it was never armed.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// DisableAll disarms every point (test cleanup).
+func DisableAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	points = map[string]func() error{}
+}
+
+// Inject triggers the named point. It returns nil instantly when the
+// registry is inert or the point is not armed; otherwise it runs the
+// armed action and returns its error.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		// No mutex, no map lookup: the production fast path.
+		return nil
+	}
+	mu.Lock()
+	action := points[name]
+	mu.Unlock()
+	if action == nil {
+		return nil
+	}
+	return action()
+}
+
+// Err returns an action that fails with the given error.
+func Err(err error) func() error { return func() error { return err } }
+
+// Errorf returns an action that fails with a formatted error.
+func Errorf(format string, args ...any) func() error {
+	err := fmt.Errorf(format, args...)
+	return func() error { return err }
+}
+
+// Panic returns an action that panics with the given message.
+func Panic(msg string) func() error {
+	return func() error { panic("failpoint: " + msg) }
+}
+
+// Sleep returns an action that delays the caller by d.
+func Sleep(d time.Duration) func() error {
+	return func() error { time.Sleep(d); return nil }
+}
+
+// parseEnv arms points listed in EnvVar. It is deliberately forgiving:
+// a malformed entry is skipped, never fatal.
+func parseEnv() {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		name, action, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" {
+			continue
+		}
+		kind, arg, _ := strings.Cut(action, ":")
+		var f func() error
+		switch kind {
+		case "error":
+			f = Errorf("failpoint %s: %s", name, arg)
+		case "panic":
+			f = Panic(arg)
+		case "sleep":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				continue
+			}
+			f = Sleep(d)
+		default:
+			continue
+		}
+		Enable(name, f)
+	}
+}

@@ -1,0 +1,79 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInertByDefault(t *testing.T) {
+	if err := Inject("never.armed"); err != nil {
+		t.Fatalf("inert Inject returned %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	t.Cleanup(DisableAll)
+	boom := errors.New("boom")
+	Enable("p", Err(boom))
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("armed Inject = %v, want boom", err)
+	}
+	if err := Inject("q"); err != nil {
+		t.Fatalf("unarmed sibling Inject = %v", err)
+	}
+	Disable("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("disarmed Inject = %v", err)
+	}
+	// Double-disable must not corrupt the armed counter.
+	Disable("p")
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after disarm", armed.Load())
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	Enable("p", Panic("kaboom"))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Panic action did not panic")
+		}
+	}()
+	Inject("p")
+}
+
+func TestSleepAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	Enable("p", Sleep(20*time.Millisecond))
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("sleep action returned after %v", d)
+	}
+}
+
+func TestParseEnvForgiving(t *testing.T) {
+	t.Cleanup(DisableAll)
+	// Direct parse of a spec with valid and junk entries; parseEnv reads
+	// the environment, so drive the same code path via a crafted env.
+	t.Setenv(EnvVar, "a=error:x; ;b=sleep:notaduration;=error:y;c=panic:z;d=weird:1")
+	parseEnv()
+	if err := Inject("a"); err == nil {
+		t.Fatal("env-armed error point did not fire")
+	}
+	if err := Inject("b"); err != nil {
+		t.Fatalf("malformed sleep entry was armed: %v", err)
+	}
+	if err := Inject("d"); err != nil {
+		t.Fatalf("unknown action kind was armed: %v", err)
+	}
+	func() {
+		defer func() { recover() }()
+		Inject("c")
+		t.Error("env-armed panic point did not fire")
+	}()
+}

@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 
@@ -63,9 +64,17 @@ const ParallelThreshold = 2 * GroupWidth
 // 63-fault word-pair group at a time); DetectedAt is identical to
 // RunSequential, the full-sweep oracle, in every case.
 func Run(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
+	res, _ := RunContext(context.Background(), c, faults, seq)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation, checked once per
+// 128-cycle block. On early stop it returns the partial result (the
+// detections of the processed prefix) together with the context error.
+func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) (*Result, error) {
 	s := NewSimulator(c, faults)
-	s.Simulate(seq)
-	return s.Result()
+	_, err := s.SimulateContext(ctx, seq)
+	return s.Result(), err
 }
 
 // RunParallel fault-simulates with one worker goroutine per processor,
@@ -75,10 +84,17 @@ func Run(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
 // conflicts and DetectedAt is identical to the sequential run for every
 // fault.
 func RunParallel(c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) *Result {
+	res, _ := RunParallelContext(context.Background(), c, faults, seq)
+	return res
+}
+
+// RunParallelContext is RunParallel with cooperative cancellation,
+// checked once per 128-cycle block between worker fan-outs.
+func RunParallelContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, seq sim.Seq) (*Result, error) {
 	s := NewSimulator(c, faults)
 	s.forceParallel = runtime.GOMAXPROCS(0) > 1
-	s.Simulate(seq)
-	return s.Result()
+	_, err := s.SimulateContext(ctx, seq)
+	return s.Result(), err
 }
 
 // RunSequential fault-simulates group by group on the calling goroutine

@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -143,12 +144,26 @@ func (s *Simulator) Drop(f fault.Fault) {
 // fault-list order. Detection cycles (see DetectedAt) are absolute: the
 // t-th vector of this call is cycle Cycles()+t.
 func (s *Simulator) Simulate(seq sim.Seq) []fault.Fault {
+	newly, _ := s.SimulateContext(context.Background(), seq)
+	return newly
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the context
+// is checked once per 128-cycle good-machine block, so a cancelled or
+// expired simulation stops within one block. On early stop it returns
+// the context error; the simulator remains consistent, behaving exactly
+// as if only the processed prefix of seq had been applied (detections
+// within that prefix are recorded and Cycles advances by its length).
+func (s *Simulator) SimulateContext(ctx context.Context, seq sim.Seq) ([]fault.Fault, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(seq) == 0 || s.liveTotal == 0 {
 		s.cycle += len(seq)
-		return nil
+		return nil, nil
 	}
 	s.repack()
-	dets := s.runGroups(seq)
+	dets, processed, err := s.runGroups(ctx, seq)
 	var newly []fault.Fault
 	for gi, g := range s.groups {
 		for _, d := range dets[gi] {
@@ -159,8 +174,8 @@ func (s *Simulator) Simulate(seq sim.Seq) []fault.Fault {
 		}
 	}
 	sort.Slice(newly, func(i, j int) bool { return newly[i].Less(newly[j]) })
-	s.cycle += len(seq)
-	return newly
+	s.cycle += processed
+	return newly, err
 }
 
 // goodBlock is the number of cycles of good-machine trajectory
@@ -199,9 +214,14 @@ func (s *Simulator) computeGood(block sim.Seq) {
 
 // runGroups runs the sequence over every group in good-trajectory
 // blocks, spreading groups across workers when the workload pays for
-// it, and returns per-group detection lists.
-func (s *Simulator) runGroups(seq sim.Seq) [][]detection {
+// it, and returns per-group detection lists plus the number of cycles
+// actually processed. The context is checked once per block; on
+// cancellation the remaining blocks are skipped and the context error
+// returned, with every detection from the processed prefix intact.
+func (s *Simulator) runGroups(ctx context.Context, seq sim.Seq) ([][]detection, int, error) {
 	dets := make([][]detection, len(s.groups))
+	processed := 0
+	var ctxErr error
 	workers := 1
 	if procs := runtime.GOMAXPROCS(0); procs > 1 &&
 		(s.forceParallel || s.liveTotal > ParallelThreshold) {
@@ -217,11 +237,16 @@ func (s *Simulator) runGroups(seq sim.Seq) [][]detection {
 		s.engines = append(s.engines, newEventEngine(s.c))
 	}
 	for start := 0; start < len(seq); start += goodBlock {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		end := start + goodBlock
 		if end > len(seq) {
 			end = len(seq)
 		}
 		block := seq[start:end]
+		processed = end
 		s.computeGood(block)
 		base := s.cycle + start
 		if workers <= 1 {
@@ -255,7 +280,7 @@ func (s *Simulator) runGroups(seq sim.Seq) [][]detection {
 	for _, eng := range s.engines {
 		s.stats.Add(eng.takeStats())
 	}
-	return dets
+	return dets, processed, ctxErr
 }
 
 // repack consolidates sparse groups before a sequence: every group

@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -25,7 +26,15 @@ import (
 // with no period constraint (the testability direction of Fig. 6),
 // together with the optimal count.
 func (g *Graph) MinRegisters() (Retiming, int, error) {
-	return g.minRegistersWith(nil)
+	return g.minRegistersWith(context.Background(), nil)
+}
+
+// MinRegistersContext is MinRegisters with cooperative cancellation:
+// the flow solver checks the context once per augmentation round and
+// per Bellman-Ford sweep, so a cancelled minimization stops within one
+// relaxation pass.
+func (g *Graph) MinRegistersContext(ctx context.Context) (Retiming, int, error) {
+	return g.minRegistersWith(ctx, nil)
 }
 
 // MinRegistersAtPeriod minimizes registers subject to clock period at
@@ -33,6 +42,12 @@ func (g *Graph) MinRegisters() (Retiming, int, error) {
 // constraints to the flow network. It requires the W/D matrices, so it
 // is subject to MaxWDVertices.
 func (g *Graph) MinRegistersAtPeriod(c int) (Retiming, int, error) {
+	return g.MinRegistersAtPeriodContext(context.Background(), c)
+}
+
+// MinRegistersAtPeriodContext is MinRegistersAtPeriod with cooperative
+// cancellation (see MinRegistersContext).
+func (g *Graph) MinRegistersAtPeriodContext(ctx context.Context, c int) (Retiming, int, error) {
 	W, D, err := g.WDMatrices()
 	if err != nil {
 		return nil, 0, err
@@ -48,7 +63,7 @@ func (g *Graph) MinRegistersAtPeriod(c int) (Retiming, int, error) {
 			}
 		}
 	}
-	r, count, err := g.minRegistersWith(extras)
+	r, count, err := g.minRegistersWith(ctx, extras)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -73,7 +88,7 @@ type flowArcSpec struct {
 // use ReduceRegisters instead.
 const MaxFlowVertices = 1000
 
-func (g *Graph) minRegistersWith(extras []flowArcSpec) (Retiming, int, error) {
+func (g *Graph) minRegistersWith(ctx context.Context, extras []flowArcSpec) (Retiming, int, error) {
 	n := len(g.Verts)
 	if n > MaxFlowVertices {
 		return nil, 0, fmt.Errorf("retime: %d vertices exceeds the flow solver cap of %d", n, MaxFlowVertices)
@@ -102,7 +117,7 @@ func (g *Graph) minRegistersWith(extras []flowArcSpec) (Retiming, int, error) {
 	for _, ex := range extras {
 		f.addArc(ex.u, ex.v, int64(ex.w))
 	}
-	if err := f.solve(supply); err != nil {
+	if err := f.solve(ctx, supply); err != nil {
 		return nil, 0, err
 	}
 	dist, err := f.residualDistances()
@@ -174,9 +189,13 @@ func (f *flow) push(a int, q int64) {
 
 // solve routes all supply to demand with successive shortest paths
 // (Bellman-Ford each round; costs may be negative on residual arcs).
-func (f *flow) solve(supply []int64) error {
+// The context is checked once per augmentation round.
+func (f *flow) solve(ctx context.Context, supply []int64) error {
 	excess := append([]int64(nil), supply...)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Multi-source shortest path from all excess nodes.
 		var sources []int
 		for v, e := range excess {

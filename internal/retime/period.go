@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -104,16 +105,26 @@ func (g *Graph) FEAS(c int) (Retiming, bool) {
 // overestimate the optimum on pathological I/O-bound structures but
 // always returns a legal retiming.
 func (g *Graph) MinPeriod() (Retiming, int, error) {
+	return g.MinPeriodContext(context.Background())
+}
+
+// MinPeriodContext is MinPeriod with cooperative cancellation, checked
+// before the exact W/D solve and once per binary-search round of the
+// FEAS fallback.
+func (g *Graph) MinPeriodContext(ctx context.Context) (Retiming, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if len(g.Verts) <= MaxWDVertices {
 		if r, p, err := g.MinPeriodWD(); err == nil {
 			return r, p, nil
 		}
 	}
-	return g.minPeriodFEAS()
+	return g.minPeriodFEAS(ctx)
 }
 
 // minPeriodFEAS is the binary-search-over-FEAS fallback.
-func (g *Graph) minPeriodFEAS() (Retiming, int, error) {
+func (g *Graph) minPeriodFEAS(ctx context.Context) (Retiming, int, error) {
 	hi := g.Period()
 	if hi == math.MaxInt {
 		return nil, 0, fmt.Errorf("retime: graph %q has a zero-weight cycle", g.Name)
@@ -126,6 +137,9 @@ func (g *Graph) minPeriodFEAS() (Retiming, int, error) {
 	}
 	best, bestPeriod := g.Zero(), hi
 	for lo < bestPeriod {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		mid := (lo + bestPeriod) / 2
 		if r, ok := g.FEAS(mid); ok {
 			// FEAS guarantees period <= mid; take the achieved period.

@@ -1,6 +1,7 @@
 package retime
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -83,7 +84,7 @@ func TestMinPeriodWDvsFEASProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: WD: %v", c.Name, err)
 		}
-		rFEAS, pFEAS, err := g.minPeriodFEAS()
+		rFEAS, pFEAS, err := g.minPeriodFEAS(context.Background())
 		if err != nil {
 			t.Fatalf("%s: FEAS: %v", c.Name, err)
 		}

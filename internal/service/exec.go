@@ -7,12 +7,31 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
 	"repro/internal/retime"
 	"repro/internal/sim"
 )
+
+// stage runs one named pipeline step under the per-stage latency
+// histogram, checking the deadline first so an expired or cancelled job
+// stops at the next boundary instead of starting more work. Every
+// library call a stage makes is context-aware, so the stage runs f
+// inline on the worker's own goroutine: a deadline or Cancel unwinds
+// *through* f within one cooperative check interval, and no abandoned
+// computation is left burning CPU behind the pool. The stage.<name>
+// failpoint lets chaos tests fail, delay or panic a specific stage.
+func (s *Service) stage(ctx context.Context, name string, f func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := failpoint.Inject("stage." + name); err != nil {
+		return err
+	}
+	return s.reg.Observe("stage."+name+".latency", f)
+}
 
 // execute runs the request's pipeline, one instrumented stage at a
 // time. Every stage is a plain library call with deterministic options,
@@ -45,8 +64,11 @@ func (s *Service) execRetime(ctx context.Context, req *Request, c *netlist.Circu
 		g := retime.FromCircuit(c)
 		switch req.Mode {
 		case "registers":
-			r, _, err := g.MinRegisters()
+			r, _, err := g.MinRegistersContext(ctx)
 			if err != nil {
+				if ctx.Err() != nil {
+					return err
+				}
 				r = g.ReduceRegisters(g.Zero(), math.MaxInt)
 			}
 			pair, err := core.BuildPair(g, r, c.Name, c.Name+".min")
@@ -59,7 +81,7 @@ func (s *Service) execRetime(ctx context.Context, req *Request, c *netlist.Circu
 			out.PrefixTests = pair.PrefixLengthTests()
 			out.PrefixSync = pair.PrefixLengthFaultFree()
 		default: // "period"
-			pair, before, after, err := core.MinPeriodPair(c)
+			pair, before, after, err := core.MinPeriodPairContext(ctx, c)
 			if err != nil {
 				return err
 			}
@@ -87,8 +109,9 @@ func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit
 	}
 	var res *atpg.Result
 	if err := s.stage(ctx, "atpg", func() error {
-		res = atpg.Run(c, faults, req.ATPG.Options())
-		return nil
+		var err error
+		res, err = atpg.RunContext(ctx, c, faults, req.ATPG.Options())
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -125,8 +148,9 @@ func (s *Service) execFaultSim(ctx context.Context, req *Request, c *netlist.Cir
 	}
 	var res *fsim.Result
 	if err := s.stage(ctx, "fsim", func() error {
-		res = fsim.Run(c, faults, seq)
-		return nil
+		var err error
+		res, err = fsim.RunContext(ctx, c, faults, seq)
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -153,7 +177,7 @@ func (s *Service) execDerive(ctx context.Context, req *Request, c *netlist.Circu
 	var flow *core.Fig6Result
 	if err := s.stage(ctx, "fig6", func() error {
 		var err error
-		flow, err = core.Fig6Flow(c, req.ATPG.Options())
+		flow, err = core.Fig6FlowContext(ctx, c, req.ATPG.Options())
 		return err
 	}); err != nil {
 		return nil, err
@@ -164,8 +188,9 @@ func (s *Service) execDerive(ctx context.Context, req *Request, c *netlist.Circu
 		// requested fill (Theorem 4 permits any) and re-simulate.
 		derived = flow.Pair.DeriveTestSet(flow.EasyATPG.TestSet, fill, req.Seed)
 		if err := s.stage(ctx, "fsim", func() error {
-			flow.ImplResult = fsim.Run(flow.Pair.Retimed, flow.ImplFaults, derived)
-			return nil
+			var err error
+			flow.ImplResult, err = fsim.RunContext(ctx, flow.Pair.Retimed, flow.ImplFaults, derived)
+			return err
 		}); err != nil {
 			return nil, err
 		}

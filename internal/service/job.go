@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -39,13 +41,20 @@ func validKind(k Kind) bool {
 // Status is a job's lifecycle state.
 type Status string
 
-// Job statuses.
+// Job statuses. Done, failed and cancelled are terminal.
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
 )
+
+// Terminal reports whether the status is final: the job will never run
+// again and its view will never change.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
 
 // Request describes one job. Circuits travel as ISCAS-89 bench text
 // (the internal/netlist reader parses them inside the worker), so the
@@ -222,6 +231,15 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+
+	// attempt counts how many times the job has been started; recovered
+	// jobs resume past their journaled attempts.
+	attempt int
+	// cancelRequested marks the job for cancellation; cancel is the
+	// running attempt's context cancel func, set for the duration of the
+	// run so Cancel can interrupt it mid-stage.
+	cancelRequested bool
+	cancel          context.CancelFunc
 }
 
 // View is an immutable snapshot of a job, shaped for JSON.
@@ -238,6 +256,8 @@ type View struct {
 	// milliseconds, filled once known.
 	QueueMS int64 `json:"queue_ms,omitempty"`
 	RunMS   int64 `json:"run_ms,omitempty"`
+	// Attempt counts starts; >1 marks a job re-run after crash recovery.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // View snapshots the job.
@@ -251,6 +271,7 @@ func (j *Job) View() View {
 		Error:   j.err,
 		Result:  j.result,
 		Created: j.created,
+		Attempt: j.attempt,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -260,28 +281,84 @@ func (j *Job) View() View {
 	if !j.finished.IsZero() {
 		t := j.finished
 		v.Finished = &t
-		v.RunMS = j.finished.Sub(j.started).Milliseconds()
+		if !j.started.IsZero() {
+			v.RunMS = j.finished.Sub(j.started).Milliseconds()
+		}
 	}
 	return v
 }
 
-func (j *Job) setRunning() {
-	j.mu.Lock()
-	j.status = StatusRunning
-	j.started = time.Now()
-	j.mu.Unlock()
-}
-
-func (j *Job) finish(res *Result, err error) (Status, time.Duration) {
+// begin transitions the job to running for a new attempt and installs
+// the attempt's cancel func. It refuses (returning false) when the job
+// was cancelled while queued or is already terminal, so the worker can
+// retire it without running anything.
+func (j *Job) begin(cancel context.CancelFunc) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.cancelRequested || j.status.Terminal() {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.attempt++
+	j.cancel = cancel
+	return true
+}
+
+// requestCancel marks the job for cancellation and interrupts the
+// running attempt, if any. first reports whether this was the first
+// cancel request; queued reports that the job had not started -- since
+// cancelRequested is set under the same mutex begin checks, a queued
+// job is then guaranteed never to run, and the caller may retire it
+// immediately.
+func (j *Job) requestCancel() (first, queued bool) {
+	j.mu.Lock()
+	first = !j.cancelRequested && !j.status.Terminal()
+	queued = j.status == StatusQueued
+	j.cancelRequested = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return first, queued
+}
+
+// cancelPending reports whether cancellation has been requested but the
+// job is not yet terminal.
+func (j *Job) cancelPending() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested && !j.status.Terminal()
+}
+
+// finish moves the job to its terminal state: done on nil error,
+// cancelled when cancellation was requested and the run unwound with
+// context.Canceled, failed otherwise. The returned changed flag is
+// false when the job was already terminal (finish is then a no-op), so
+// callers never double-count metrics or double-journal transitions.
+func (j *Job) finish(res *Result, err error) (status Status, dur time.Duration, changed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return j.status, 0, false
+	}
 	j.finished = time.Now()
-	if err != nil {
-		j.status = StatusFailed
-		j.err = err.Error()
-	} else {
+	j.cancel = nil
+	switch {
+	case err == nil:
 		j.status = StatusDone
 		j.result = res
+	case j.cancelRequested && errors.Is(err, context.Canceled):
+		j.status = StatusCancelled
+		j.err = err.Error()
+	default:
+		j.status = StatusFailed
+		j.err = err.Error()
 	}
-	return j.status, j.finished.Sub(j.started)
+	start := j.started
+	if start.IsZero() {
+		start = j.created
+	}
+	return j.status, j.finished.Sub(start), true
 }

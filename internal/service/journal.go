@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/failpoint"
+)
+
+// The job journal is an append-only JSON-lines file recording every job
+// lifecycle transition: one entry per line, in commit order. On startup
+// the service replays it to rebuild the store -- terminal jobs reappear
+// with their results, jobs that were queued or running at crash time
+// are re-queued -- so a servd restart loses no accepted work.
+//
+// Journal events:
+//
+//	{"event":"submit","id":"job-000001","time":...,"req":{...}}
+//	{"event":"start","id":"job-000001","time":...,"attempt":1}
+//	{"event":"done","id":"job-000001","time":...,"result":{...}}
+//	{"event":"failed","id":"job-000001","time":...,"error":"..."}
+//	{"event":"cancelled","id":"job-000001","time":...}
+//
+// Replay is deliberately forgiving: unparsable lines (torn final write
+// after a crash, stray corruption) are skipped and counted, never
+// fatal, and events for IDs with no surviving submit entry are dropped.
+const (
+	evSubmit    = "submit"
+	evStart     = "start"
+	evDone      = "done"
+	evFailed    = "failed"
+	evCancelled = "cancelled"
+)
+
+// Failpoint names instrumenting the journal for chaos tests.
+const (
+	// fpJournalBeforeWrite fires before an entry is written; an error
+	// action simulates a crash before the write reached disk (the entry
+	// is lost), a panic action a crash taking the worker down with it.
+	fpJournalBeforeWrite = "journal.before-write"
+	// fpJournalAfterWrite fires after an entry hit the file, modeling a
+	// crash between the journal write and the in-memory state update.
+	fpJournalAfterWrite = "journal.after-write"
+)
+
+// journalEntry is one line of the journal.
+type journalEntry struct {
+	Event   string    `json:"event"`
+	ID      string    `json:"id"`
+	Time    time.Time `json:"time"`
+	Attempt int       `json:"attempt,omitempty"`
+	Req     *Request  `json:"req,omitempty"`
+	Result  *Result   `json:"result,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// journal owns the append file. Appends are serialized by mu so entries
+// never interleave; each entry is one marshal + one write, optionally
+// followed by an fsync.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
+}
+
+func openJournal(path string, syncEach bool) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	return &journal{f: f, sync: syncEach}, nil
+}
+
+// append commits one entry. A failpoint-injected error at before-write
+// simulates the write never reaching disk.
+func (j *journal) append(e journalEntry) error {
+	if err := failpoint.Inject(fpJournalBeforeWrite); err != nil {
+		return err
+	}
+	// Per-event variant ("journal.before-write.done") so chaos tests can
+	// lose, say, only terminal entries -- the crashed-after-compute case.
+	if err := failpoint.Inject(fpJournalBeforeWrite + "." + e.Event); err != nil {
+		return err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("service: marshal journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("service: write journal: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("service: sync journal: %w", err)
+		}
+	}
+	return failpoint.Inject(fpJournalAfterWrite)
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// replayedJob is one job reconstructed from the journal.
+type replayedJob struct {
+	ID      string
+	Req     *Request
+	Status  Status // StatusQueued marks an in-flight job to re-queue
+	Result  *Result
+	Error   string
+	Attempt int // start events seen so far
+	Created time.Time
+}
+
+// maxJournalLine bounds one journal line on replay; submissions carry
+// whole bench circuits, so this is generous (the HTTP layer rejects
+// larger payloads long before they reach the journal).
+const maxJournalLine = 64 << 20
+
+// replayJournal parses a journal stream into per-job outcomes, in
+// first-submit order. It returns the highest numeric job ID seen (to
+// restart the ID counter past every journaled job) and the number of
+// lines it had to skip: unparsable lines and events without a matching
+// submit. It never fails on malformed input -- a recovering service
+// must come up on whatever prefix of the journal survived the crash.
+func replayJournal(r io.Reader) (jobs []*replayedJob, maxID int64, skipped int) {
+	byID := make(map[string]*replayedJob)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxJournalLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.ID == "" {
+			skipped++
+			continue
+		}
+		if n := jobIDNumber(e.ID); n > maxID {
+			maxID = n
+		}
+		j := byID[e.ID]
+		if j == nil {
+			if e.Event != evSubmit || e.Req == nil {
+				skipped++ // event for a job whose submit never survived
+				continue
+			}
+			j = &replayedJob{ID: e.ID, Req: e.Req, Status: StatusQueued, Created: e.Time}
+			byID[e.ID] = j
+			jobs = append(jobs, j)
+			continue
+		}
+		switch e.Event {
+		case evSubmit:
+			// Duplicate submit for a live ID: keep the first, skip.
+			skipped++
+		case evStart:
+			j.Attempt++
+			if e.Attempt > j.Attempt {
+				j.Attempt = e.Attempt
+			}
+		case evDone:
+			j.Status, j.Result = StatusDone, e.Result
+		case evFailed:
+			j.Status, j.Error = StatusFailed, e.Error
+		case evCancelled:
+			j.Status = StatusCancelled
+		default:
+			skipped++
+		}
+	}
+	// A scanner error (over-long or truncated tail) ends replay at the
+	// last good line; everything before it is already recovered.
+	if sc.Err() != nil {
+		skipped++
+	}
+	return jobs, maxID, skipped
+}
+
+// jobIDNumber extracts the numeric suffix of "job-000123" IDs; 0 for
+// anything else.
+func jobIDNumber(id string) int64 {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}

@@ -5,12 +5,20 @@
 // same library calls the CLI tools make, with the same deterministic
 // options, so a job's payload is bit-identical to the equivalent direct
 // call. cmd/servd exposes this package over HTTP.
+//
+// The pipeline is crash-safe and cancellable: an optional append-only
+// job journal (see journal.go) records every lifecycle transition and
+// is replayed on Open, re-queueing work that was in flight when the
+// process died; Cancel interrupts a queued or running job within one
+// cancellation-check interval of the underlying library call; Shutdown
+// drains gracefully.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -31,6 +39,26 @@ type Config struct {
 	// Metrics receives job and stage instrumentation; a private
 	// registry is created when nil.
 	Metrics *metrics.Registry
+
+	// JournalPath names the append-only JSON-lines job journal. Empty
+	// disables durability (the seed behavior: jobs live only in
+	// memory). With a journal, Open replays it: terminal jobs reappear
+	// in the store with their results, jobs that were queued or running
+	// at crash time are re-queued and re-run.
+	JournalPath string
+	// SyncJournal fsyncs the journal after every entry. Off by default:
+	// the write-behind window is one OS page cache flush.
+	SyncJournal bool
+	// MaxAttempts bounds how many times a job may be started across
+	// crashes before recovery gives up and fails it; default 3.
+	MaxAttempts int
+	// RetryBackoff is the base delay before re-running a job that was
+	// already running when the process died (attempt n waits
+	// RetryBackoff << (n-2), capped at RetryBackoffCap), so a job that
+	// crashes the server on every attempt cannot crash-loop it at full
+	// speed. Defaults 100ms / 5s.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +74,15 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 5 * time.Second
+	}
 	return c
 }
 
@@ -58,7 +95,11 @@ var (
 // ErrNotFound reports an unknown job ID.
 var ErrNotFound = errors.New("service: no such job")
 
-// Service owns the worker pool and the job store.
+// errRetryAbandoned fails recovered jobs whose retry never got to run
+// because the service shut down first.
+var errRetryAbandoned = errors.New("service: shut down before recovered job re-ran")
+
+// Service owns the worker pool, the job store and the journal.
 type Service struct {
 	cfg   Config
 	reg   *metrics.Registry
@@ -66,30 +107,139 @@ type Service struct {
 	stop  context.CancelFunc
 	queue chan *Job
 	wg    sync.WaitGroup
+	jrnl  *journal
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	nextID int64
 	closed bool
+	timers map[string]*time.Timer // recovered jobs waiting out a retry backoff
+	done   chan struct{}          // closed once the pool has fully drained
 }
 
-// New starts a service with cfg.Workers worker goroutines.
+// New starts a service with cfg.Workers worker goroutines. It panics
+// when the configured journal cannot be opened or replayed; use Open to
+// handle that error.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a service. With cfg.JournalPath set it first replays the
+// journal: every job the previous process accepted reappears in the
+// store, and the ones that never reached a terminal state are re-queued
+// (subject to cfg.MaxAttempts, with capped exponential backoff for jobs
+// that were already running -- they may have crashed the process). The
+// number of re-queued jobs is exposed as the jobs.recovered counter.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	base, stop := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:   cfg,
-		reg:   cfg.Metrics,
-		base:  base,
-		stop:  stop,
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
+		cfg:    cfg,
+		reg:    cfg.Metrics,
+		base:   base,
+		stop:   stop,
+		jobs:   make(map[string]*Job),
+		timers: make(map[string]*time.Timer),
+		done:   make(chan struct{}),
 	}
+
+	var requeue []*Job
+	var backoffs []time.Duration
+	if cfg.JournalPath != "" {
+		var err error
+		requeue, backoffs, err = s.recover(cfg.JournalPath)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+	}
+
+	// Reserve queue capacity for every recovered job so re-queueing can
+	// never collide with fresh submissions racing in after startup.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(requeue))
+	for i, j := range requeue {
+		if backoffs[i] <= 0 {
+			s.queue <- j
+			s.reg.Gauge("queue.depth").Add(1)
+			continue
+		}
+		s.scheduleRetry(j, backoffs[i])
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// recover replays the journal at path, populates the job store, opens
+// the journal for appending, and returns the jobs to re-queue with
+// their per-job start delays.
+func (s *Service) recover(path string) (requeue []*Job, backoffs []time.Duration, err error) {
+	f, err := os.Open(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("service: open journal for replay: %w", err)
+	}
+	var replayed []*replayedJob
+	var maxID int64
+	var skipped int
+	if err == nil {
+		replayed, maxID, skipped = replayJournal(f)
+		f.Close()
+	}
+	s.jrnl, err = openJournal(path, s.cfg.SyncJournal)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.nextID = maxID
+	if skipped > 0 {
+		s.reg.Counter("journal.skipped_lines").Add(int64(skipped))
+	}
+
+	var gaveUp []*Job
+	for _, r := range replayed {
+		j := &Job{
+			id:      r.ID,
+			req:     *r.Req,
+			status:  r.Status,
+			err:     r.Error,
+			result:  r.Result,
+			created: r.Created,
+			attempt: r.Attempt,
+		}
+		s.jobs[j.id] = j
+		if r.Status.Terminal() {
+			continue
+		}
+		if r.Attempt >= s.cfg.MaxAttempts {
+			gaveUp = append(gaveUp, j)
+			continue
+		}
+		requeue = append(requeue, j)
+		// Never-started jobs re-queue immediately; ones that were
+		// running when the process died wait out a capped exponential
+		// backoff, since they may be what killed it.
+		var delay time.Duration
+		if r.Attempt > 0 {
+			delay = s.cfg.RetryBackoff << (r.Attempt - 1)
+			if delay > s.cfg.RetryBackoffCap || delay <= 0 {
+				delay = s.cfg.RetryBackoffCap
+			}
+		}
+		backoffs = append(backoffs, delay)
+	}
+	for _, j := range gaveUp {
+		s.finishJob(j, nil, fmt.Errorf("service: gave up after %d attempts", j.attempt))
+	}
+	if n := len(requeue); n > 0 {
+		s.reg.Counter("jobs.recovered").Add(int64(n))
+	}
+	return requeue, backoffs, nil
 }
 
 // Metrics returns the service's registry (for the /metrics endpoint).
@@ -123,6 +273,7 @@ func (s *Service) Submit(req Request) (string, error) {
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	s.journalAppend(journalEntry{Event: evSubmit, ID: j.id, Req: &j.req})
 	s.reg.Counter("jobs.submitted." + string(req.Kind)).Inc()
 	s.reg.Gauge("queue.depth").Add(1)
 	return j.id, nil
@@ -135,6 +286,41 @@ func (s *Service) Get(id string) (View, error) {
 	s.mu.Unlock()
 	if !ok {
 		return View{}, ErrNotFound
+	}
+	return j.View(), nil
+}
+
+// Cancel requests cancellation of the job: a queued job is retired
+// without running, a running one is interrupted at its next
+// cancellation check (within one fsim block or a few hundred PODEM
+// decisions), a job waiting out a recovery backoff is retired
+// immediately. Cancelling a job already in a terminal state is a no-op.
+// The returned view is a snapshot; poll Get for the terminal state.
+func (s *Service) Cancel(id string) (View, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var timer *time.Timer
+	if ok {
+		timer = s.timers[id]
+		delete(s.timers, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	first, queued := j.requestCancel()
+	if first {
+		s.reg.Counter("jobs.cancel_requested").Inc()
+	}
+	if queued {
+		// The job never started and now never will (begin refuses once
+		// cancelRequested is set): retire it here instead of waiting for
+		// a worker to dequeue and discard it. finishJob is idempotent,
+		// so the worker's later no-op finish cannot double-count.
+		s.finishJob(j, nil, context.Canceled)
 	}
 	return j.View(), nil
 }
@@ -161,15 +347,15 @@ func (s *Service) List() []View {
 	return views
 }
 
-// Wait polls until the job leaves the queued/running states or the
-// context expires; a convenience for tests and synchronous clients.
+// Wait polls until the job reaches a terminal state or the context
+// expires; a convenience for tests and synchronous clients.
 func (s *Service) Wait(ctx context.Context, id string) (View, error) {
 	for {
 		v, err := s.Get(id)
 		if err != nil {
 			return View{}, err
 		}
-		if v.Status == StatusDone || v.Status == StatusFailed {
+		if v.Status.Terminal() {
 			return v, nil
 		}
 		select {
@@ -181,18 +367,95 @@ func (s *Service) Wait(ctx context.Context, id string) (View, error) {
 }
 
 // Close stops accepting jobs, cancels the running ones and waits for
-// the workers. Jobs still queued are marked failed.
+// the workers to drain. Jobs still queued fail fast with a cancelled
+// context.
 func (s *Service) Close() {
+	s.shutdown(nil)
+}
+
+// Shutdown stops accepting jobs and drains gracefully: queued and
+// running jobs keep running until done or until ctx expires, at which
+// point the stragglers are cancelled (and, with a journal, re-queued by
+// the next Open). It returns ctx's error when the drain was cut short.
+func (s *Service) Shutdown(ctx context.Context) error {
+	return s.shutdown(ctx)
+}
+
+func (s *Service) shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		<-s.done // another shutdown owns the drain; wait for it
+		return nil
 	}
 	s.closed = true
+	timers := s.timers
+	s.timers = make(map[string]*time.Timer)
 	s.mu.Unlock()
-	s.stop()
+
+	// Jobs parked on retry backoff will never reach the queue now.
+	for id, t := range timers {
+		if t.Stop() {
+			s.mu.Lock()
+			j := s.jobs[id]
+			s.mu.Unlock()
+			s.finishJob(j, nil, errRetryAbandoned)
+		}
+	}
+
+	if ctx == nil {
+		s.stop() // cancel running jobs immediately
+	}
 	close(s.queue)
-	s.wg.Wait()
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	var err error
+	if ctx != nil {
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			err = ctx.Err()
+			s.stop()
+			<-drained
+		}
+	} else {
+		<-drained
+	}
+	s.stop()
+	if s.jrnl != nil {
+		s.jrnl.Close()
+	}
+	close(s.done)
+	return err
+}
+
+// scheduleRetry parks a recovered job until its backoff elapses, then
+// feeds it to the queue. Must not be called after close.
+func (s *Service) scheduleRetry(j *Job, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timers[j.id] = time.AfterFunc(delay, func() { s.retryEnqueue(j) })
+}
+
+// retryEnqueue moves a recovered job from its timer to the queue. When
+// the queue is momentarily full (fresh submissions took the capacity)
+// it backs off another round rather than blocking the timer goroutine.
+func (s *Service) retryEnqueue(j *Job) {
+	s.mu.Lock()
+	delete(s.timers, j.id)
+	if s.closed {
+		s.mu.Unlock()
+		s.finishJob(j, nil, errRetryAbandoned)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.reg.Gauge("queue.depth").Add(1)
+	default:
+		s.timers[j.id] = time.AfterFunc(s.cfg.RetryBackoff, func() { s.retryEnqueue(j) })
+		s.mu.Unlock()
+	}
 }
 
 func (s *Service) worker() {
@@ -203,12 +466,13 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one job under its deadline. The computation runs on a
-// child goroutine so the worker can abandon it when the deadline fires
-// and move on to the next job; the abandoned computation notices the
-// cancelled context at its next stage boundary and unwinds. The pool
-// therefore stays usable even when a heavy single stage (a large ATPG)
-// overruns its budget.
+// runJob executes one job attempt under its deadline. The computation
+// runs on a child goroutine so a panicking stage (chaos-injected or
+// real) unwinds into a failed job instead of taking the worker down;
+// the worker *joins* that goroutine -- cancellation and deadlines
+// propagate through the library's cooperative checks, so an
+// interrupted stage returns within one check interval and nothing
+// leaks.
 func (s *Service) runJob(j *Job) {
 	timeout := s.cfg.DefaultTimeout
 	if j.req.TimeoutMS > 0 {
@@ -217,7 +481,12 @@ func (s *Service) runJob(j *Job) {
 	ctx, cancel := context.WithTimeout(s.base, timeout)
 	defer cancel()
 
-	j.setRunning()
+	if !j.begin(cancel) {
+		// Cancelled while queued: retire without running.
+		s.finishJob(j, nil, context.Canceled)
+		return
+	}
+	s.journalAppend(journalEntry{Event: evStart, ID: j.id, Attempt: j.attempt})
 	s.reg.Gauge("workers.busy").Add(1)
 	defer s.reg.Gauge("workers.busy").Add(-1)
 
@@ -236,28 +505,50 @@ func (s *Service) runJob(j *Job) {
 		done <- outcome{res, err}
 	}()
 
-	var o outcome
-	select {
-	case o = <-done:
-	case <-ctx.Done():
-		o = outcome{nil, ctx.Err()}
+	o := <-done
+	// Deadline-expired stages surface context.Canceled from deep in the
+	// library when the deadline fired between stage checks; normalize to
+	// the context's own error so clients always see DeadlineExceeded.
+	if o.err != nil && ctx.Err() != nil && !j.cancelPending() {
+		o.err = ctx.Err()
 	}
-	status, dur := j.finish(o.res, o.err)
+	s.finishJob(j, o.res, o.err)
+}
+
+// finishJob retires a job: terminal status, metrics, journal entry.
+// Safe to call twice (the second call is a no-op) and with a nil job.
+func (s *Service) finishJob(j *Job, res *Result, err error) {
+	if j == nil {
+		return
+	}
+	status, dur, changed := j.finish(res, err)
+	if !changed {
+		return
+	}
 	kind := string(j.req.Kind)
-	if status == StatusDone {
+	switch status {
+	case StatusDone:
 		s.reg.Counter("jobs.done." + kind).Inc()
-	} else {
+		s.journalAppend(journalEntry{Event: evDone, ID: j.id, Result: res})
+	case StatusCancelled:
+		s.reg.Counter("jobs.cancelled." + kind).Inc()
+		s.journalAppend(journalEntry{Event: evCancelled, ID: j.id})
+	default:
 		s.reg.Counter("jobs.failed." + kind).Inc()
+		s.journalAppend(journalEntry{Event: evFailed, ID: j.id, Error: err.Error()})
 	}
 	s.reg.Histogram("jobs.latency." + kind).Observe(dur)
 }
 
-// stage runs one pipeline stage under the per-stage latency histogram,
-// checking the deadline first so an expired job stops at the next
-// boundary instead of starting more work.
-func (s *Service) stage(ctx context.Context, name string, f func() error) error {
-	if err := ctx.Err(); err != nil {
-		return err
+// journalAppend best-effort commits a lifecycle transition. Journal
+// write failures degrade durability, not availability: the job keeps
+// its in-memory state and the failure is counted.
+func (s *Service) journalAppend(e journalEntry) {
+	if s.jrnl == nil {
+		return
 	}
-	return s.reg.Observe("stage."+name+".latency", f)
+	e.Time = time.Now()
+	if err := s.jrnl.append(e); err != nil {
+		s.reg.Counter("journal.errors").Inc()
+	}
 }

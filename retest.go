@@ -20,6 +20,7 @@
 package retest
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -111,6 +112,13 @@ func CollapsedFaults(c *Circuit) []Fault {
 // performance-driven direction whose test cost Table II measures.
 func MinPeriodPair(c *Circuit) (*RetimedPair, int, int, error) { return core.MinPeriodPair(c) }
 
+// MinPeriodPairContext is MinPeriodPair with cooperative cancellation:
+// the solver checks ctx between FEAS rounds and stops early with ctx's
+// error.
+func MinPeriodPairContext(ctx context.Context, c *Circuit) (*RetimedPair, int, int, error) {
+	return core.MinPeriodPairContext(ctx, c)
+}
+
 // BuildPair materializes both sides of a retiming over a graph
 // obtained from Graph.
 func BuildPair(g *RetimingGraph, r retime.Retiming, origName, retName string) (*RetimedPair, error) {
@@ -127,10 +135,26 @@ func DefaultATPGOptions() ATPGOptions { return atpg.DefaultOptions() }
 // ATPG runs the sequential structural test generator.
 func ATPG(c *Circuit, faults []Fault, opt ATPGOptions) *ATPGResult { return atpg.Run(c, faults, opt) }
 
+// ATPGContext is ATPG with cooperative cancellation: the generator
+// checks ctx every few hundred PODEM decisions and, when interrupted,
+// returns the tests found so far along with ctx's error. With an
+// uncancelled context the result is byte-identical to ATPG.
+func ATPGContext(ctx context.Context, c *Circuit, faults []Fault, opt ATPGOptions) (*ATPGResult, error) {
+	return atpg.RunContext(ctx, c, faults, opt)
+}
+
 // FaultSimulate fault-simulates a test sequence from the all-X initial
 // state and reports detections.
 func FaultSimulate(c *Circuit, faults []Fault, seq Seq) *FaultSimResult {
 	return fsim.Run(c, faults, seq)
+}
+
+// FaultSimulateContext is FaultSimulate with cooperative cancellation:
+// the simulator checks ctx every 128-cycle block and, when
+// interrupted, reports coverage over the prefix it processed along
+// with ctx's error.
+func FaultSimulateContext(ctx context.Context, c *Circuit, faults []Fault, seq Seq) (*FaultSimResult, error) {
+	return fsim.RunContext(ctx, c, faults, seq)
 }
 
 // NewFaultSimulator creates a persistent fault simulator over the
@@ -156,6 +180,13 @@ func CompactTests(c *Circuit, faults []Fault, tests []Seq) []Seq {
 // derived (prefixed) test set for the implementation.
 func RetimeForTestability(impl *Circuit, opt ATPGOptions) (*Fig6Result, error) {
 	return core.Fig6Flow(impl, opt)
+}
+
+// RetimeForTestabilityContext is RetimeForTestability with cooperative
+// cancellation threaded through every stage (flow solve, ATPG, fault
+// simulation).
+func RetimeForTestabilityContext(ctx context.Context, impl *Circuit, opt ATPGOptions) (*Fig6Result, error) {
+	return core.Fig6FlowContext(ctx, impl, opt)
 }
 
 // VerifyRetiming checks that retimed behaves as a retiming of original:
@@ -208,8 +239,15 @@ const (
 	JobDeriveTests = service.KindDeriveTests
 )
 
-// NewJobService starts a job service; Close it when done.
+// NewJobService starts a job service; Close it when done. It panics
+// when the configured journal cannot be opened; use OpenJobService to
+// handle that error.
 func NewJobService(cfg JobServiceConfig) *JobService { return service.New(cfg) }
+
+// OpenJobService starts a job service, replaying the configured job
+// journal first: jobs that were queued or running when the previous
+// process died are re-queued and re-run.
+func OpenJobService(cfg JobServiceConfig) (*JobService, error) { return service.Open(cfg) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }

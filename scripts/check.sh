@@ -19,9 +19,12 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race (concurrency-heavy packages, fail fast)"
-go test -race -count=1 ./internal/fsim/... ./internal/service/...
+go test -race -count=1 ./internal/fsim/... ./internal/service/... ./internal/failpoint/... ./cmd/servd/...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== fuzz smoke (journal replay must survive arbitrary crash residue)"
+go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/service/
 
 echo "check.sh: all green"
