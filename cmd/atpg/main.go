@@ -21,16 +21,28 @@ import (
 
 func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
+// runConfig carries the parsed flags into run.
+type runConfig struct {
+	frames     int
+	backtracks int
+	budget     int64
+	random     bool
+	workers    int
+	timeout    time.Duration
+}
+
 // cliMain parses the arguments and dispatches; exit code 2 marks a
 // usage error (unknown flag, wrong operand count), 1 a runtime failure.
 func cliMain(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	frames := fs.Int("frames", 10, "maximum time frames")
-	backtracks := fs.Int("backtracks", 200, "PODEM backtrack limit per fault")
-	budget := fs.Int64("budget", 2_000_000, "gate-evaluation budget per fault (0 = unlimited)")
-	random := fs.Bool("random", true, "run the random-sequence pre-phase")
-	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); partial results are still reported")
+	var cfg runConfig
+	fs.IntVar(&cfg.frames, "frames", 10, "maximum time frames")
+	fs.IntVar(&cfg.backtracks, "backtracks", 200, "PODEM backtrack limit per fault")
+	fs.Int64Var(&cfg.budget, "budget", 2_000_000, "gate-evaluation budget per fault (0 = unlimited)")
+	fs.BoolVar(&cfg.random, "random", true, "run the random-sequence pre-phase")
+	fs.IntVar(&cfg.workers, "workers", 1, "fault-shard workers for the deterministic phase (output is identical at any count)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget (0 = unlimited); partial results are still reported")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: atpg [flags] in.bench\n")
 		fs.PrintDefaults()
@@ -42,14 +54,14 @@ func cliMain(args []string, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := run(fs.Arg(0), *frames, *backtracks, *budget, *random, *timeout); err != nil {
+	if err := run(fs.Arg(0), cfg, os.Stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "atpg:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(path string, frames, backtracks int, budget int64, random bool, timeout time.Duration) error {
+func run(path string, cfg runConfig, stdout, stderr io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -61,36 +73,62 @@ func run(path string, frames, backtracks int, budget int64, random bool, timeout
 	}
 	reps, _ := fault.Collapse(c)
 	opt := atpg.DefaultOptions()
-	opt.MaxFrames = frames
-	opt.MaxBacktracks = backtracks
-	opt.MaxEvalsPerFault = budget
-	opt.RandomPhase = random
+	opt.MaxFrames = cfg.frames
+	opt.MaxBacktracks = cfg.backtracks
+	opt.MaxEvalsPerFault = cfg.budget
+	opt.RandomPhase = cfg.random
+	opt.Workers = cfg.workers
 
 	// Ctrl-C (or the -timeout deadline) interrupts the generator at its
 	// next cooperative check; the tests found so far are still written,
 	// with a note that the run was cut short.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if timeout > 0 {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
 	res, ctxErr := atpg.RunContext(ctx, c, reps, opt)
 	if ctxErr != nil {
-		fmt.Fprintf(os.Stderr, "atpg: interrupted (%v); reporting partial results\n", ctxErr)
+		fmt.Fprintf(stderr, "atpg: interrupted (%v); reporting partial results\n", ctxErr)
+		reportPrefix(stderr, res, len(reps))
 	}
 
 	det, red, ab := res.Counts()
-	fmt.Fprintf(os.Stderr, "%s: %d collapsed faults\n", c.Name, len(reps))
-	fmt.Fprintf(os.Stderr, "detected %d, redundant %d, aborted %d\n", det, red, ab)
-	fmt.Fprintf(os.Stderr, "fault coverage %.2f%%, fault efficiency %.2f%%\n",
+	fmt.Fprintf(stderr, "%s: %d collapsed faults\n", c.Name, len(reps))
+	fmt.Fprintf(stderr, "detected %d, redundant %d, aborted %d\n", det, red, ab)
+	fmt.Fprintf(stderr, "fault coverage %.2f%%, fault efficiency %.2f%%\n",
 		res.FaultCoverage(), res.FaultEfficiency())
-	fmt.Fprintf(os.Stderr, "effort: %d gate evaluations, %d backtracks, %v\n",
+	fmt.Fprintf(stderr, "effort: %d gate evaluations, %d backtracks, %v\n",
 		res.Effort.Evals, res.Effort.Backtracks, res.Effort.Time)
-	fmt.Fprintf(os.Stderr, "test set: %d vectors in %d sequences\n", len(res.TestSet), len(res.Tests))
+	if ps := res.Parallel; ps != nil {
+		fmt.Fprintf(stderr, "parallel: %d workers, %d speculated (%d used, %d wasted), %d fortuitous skips\n",
+			ps.Workers, ps.Speculated, ps.Used, ps.Wasted, ps.Fortuitous)
+	}
+	fmt.Fprintf(stderr, "test set: %d vectors in %d sequences\n", len(res.TestSet), len(res.Tests))
 	for _, v := range res.TestSet {
-		fmt.Println(sim.VecString(v))
+		fmt.Fprintln(stdout, sim.VecString(v))
 	}
 	return nil
+}
+
+// reportPrefix prints the coverage of the fault prefix an interrupted
+// run actually processed. The overall coverage line below counts every
+// undecided fault as aborted, which understates a run that was cut off
+// mid-shard; this line scores only the faults the generator reached.
+func reportPrefix(stderr io.Writer, res *atpg.Result, total int) {
+	processed := len(res.Status)
+	if processed == 0 {
+		fmt.Fprintf(stderr, "atpg: no faults processed before interruption\n")
+		return
+	}
+	det := 0
+	for _, st := range res.Status {
+		if st == atpg.StatusDetected {
+			det++
+		}
+	}
+	fmt.Fprintf(stderr, "atpg: processed %d/%d faults before interruption; prefix fault coverage %.2f%%\n",
+		processed, total, 100*float64(det)/float64(processed))
 }

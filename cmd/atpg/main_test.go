@@ -1,42 +1,97 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/netlist"
 )
 
-// silence redirects stdout to a pipe drained in the background so run()
-// output does not pollute test logs.
-func silence(t *testing.T) {
+func writeBench(t *testing.T, c *netlist.Circuit) string {
 	t.Helper()
-	old := os.Stdout
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
+	path := filepath.Join(t.TempDir(), c.Name+".bench")
+	if err := os.WriteFile(path, []byte(netlist.BenchString(c)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	os.Stdout = devnull
-	t.Cleanup(func() {
-		os.Stdout = old
-		devnull.Close()
-	})
+	return path
+}
+
+func defaultConfig() runConfig {
+	return runConfig{frames: 6, backtracks: 50, budget: 100_000, random: true, workers: 1}
 }
 
 func TestRunGeneratesTests(t *testing.T) {
-	silence(t)
-	path := filepath.Join(t.TempDir(), "c1.bench")
-	if err := os.WriteFile(path, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
+	path := writeBench(t, netlist.Fig2C1())
+	var out, errw bytes.Buffer
+	if err := run(path, defaultConfig(), &out, &errw); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 6, 50, 100_000, true, 0); err != nil {
-		t.Fatal(err)
+	if out.Len() == 0 {
+		t.Fatal("no test vectors written")
+	}
+	if !strings.Contains(errw.String(), "fault coverage") {
+		t.Fatalf("missing coverage report:\n%s", errw.String())
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.bench"), 6, 50, 0, false, 0); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.bench"), defaultConfig(), io.Discard, io.Discard); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunParallelMatchesSerial runs the CLI path at several worker
+// counts and requires identical emitted test sets.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	path := writeBench(t, netlist.Fig2C1())
+	var want bytes.Buffer
+	if err := run(path, defaultConfig(), &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		cfg := defaultConfig()
+		cfg.workers = workers
+		var out, errw bytes.Buffer
+		if err := run(path, cfg, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != want.String() {
+			t.Fatalf("workers=%d: test set differs from serial", workers)
+		}
+		if !strings.Contains(errw.String(), "parallel:") {
+			t.Fatalf("workers=%d: no parallel stats line:\n%s", workers, errw.String())
+		}
+	}
+}
+
+// TestRunInterruptedReportsPrefixCoverage cuts a parallel run off with
+// a tiny -timeout and checks the prefix-coverage line of the
+// partial-results contract appears.
+func TestRunInterruptedReportsPrefixCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 8, Outputs: 8, Gates: 500, DFFs: 24, MaxFanin: 4,
+	})
+	path := writeBench(t, c)
+	cfg := defaultConfig()
+	cfg.workers = 4
+	cfg.backtracks = 200
+	cfg.timeout = 30 * time.Millisecond
+	var out, errw bytes.Buffer
+	if err := run(path, cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	msg := errw.String()
+	if !strings.Contains(msg, "interrupted") {
+		t.Skip("run finished before the timeout fired; nothing to assert")
+	}
+	if !strings.Contains(msg, "prefix fault coverage") && !strings.Contains(msg, "no faults processed") {
+		t.Fatalf("interrupted run missing prefix coverage report:\n%s", msg)
 	}
 }

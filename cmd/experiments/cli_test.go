@@ -15,6 +15,7 @@ func TestCLIMainErrorPaths(t *testing.T) {
 		{"unknown table", []string{"-table", "9"}, 2},
 		{"stray operand", []string{"stray"}, 2},
 		{"bad budget value", []string{"-budget", "x"}, 2},
+		{"bad workers value", []string{"-workers", "x"}, 2},
 	}
 	for _, c := range cases {
 		var errw bytes.Buffer

@@ -36,8 +36,9 @@ func cliMain(args []string, stderr io.Writer) int {
 	fig6 := fs.Bool("fig6", false, "also run the Fig. 6 flow experiment")
 	only := fs.String("only", "", "restrict to circuits whose name contains this substring")
 	budget := fs.Int64("budget", 0, "override total gate-evaluation budget per ATPG run (0 = default)")
+	workers := fs.Int("workers", 1, "fault-shard workers per ATPG run (tables are identical at any count)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: experiments [-table 1|2|3|all] [-fig6] [-only substr] [-budget n]\n")
+		fmt.Fprintf(stderr, "usage: experiments [-table 1|2|3|all] [-fig6] [-only substr] [-budget n] [-workers n]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +60,9 @@ func cliMain(args []string, stderr io.Writer) int {
 	opt := atpg.DefaultOptions()
 	if *budget > 0 {
 		opt.MaxEvalsTotal = *budget
+	}
+	if *workers > 1 {
+		opt.Workers = *workers
 	}
 	switch *table {
 	case "1":

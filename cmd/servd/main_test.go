@@ -295,3 +295,42 @@ func benchCircuit(t *testing.T, gates, dffs int) string {
 	})
 	return netlist.BenchString(c)
 }
+
+// TestParallelATPGMetricsOverHTTP submits a fault-sharded ATPG job and
+// checks the shard counters surface on /metrics alongside the result.
+func TestParallelATPGMetricsOverHTTP(t *testing.T) {
+	srv := newTestServer(t, service.Config{Workers: 1})
+	id := postJob(t, srv, service.Request{
+		Kind:  service.KindATPG,
+		Bench: netlist.BenchString(netlist.Fig2C1()),
+		ATPG:  &service.ATPGSpec{Workers: 4},
+	})
+	v := pollJob(t, srv, id)
+	if v.Status != service.StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	if v.Result.ATPG.Workers != 4 {
+		t.Fatalf("job echoes %d workers, want 4", v.Result.ATPG.Workers)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics endpoint is not valid JSON: %v", err)
+	}
+	if got, ok := m["atpg.parallel.runs"].(float64); !ok || got != 1 {
+		t.Fatalf("atpg.parallel.runs = %v", m["atpg.parallel.runs"])
+	}
+	if got, ok := m["atpg.parallel.workers"].(float64); !ok || got != 4 {
+		t.Fatalf("atpg.parallel.workers = %v", m["atpg.parallel.workers"])
+	}
+	for _, key := range []string{"atpg.parallel.speculated", "atpg.parallel.fortuitous"} {
+		if _, ok := m[key].(float64); !ok {
+			t.Fatalf("metric %s missing: %v", key, m[key])
+		}
+	}
+}

@@ -54,6 +54,13 @@ type Options struct {
 	// IdentifyRedundant runs the single-frame free-state untestability
 	// check to classify faults as redundant.
 	IdentifyRedundant bool
+	// Workers selects the fault-sharded parallel engine for the
+	// deterministic phase: 0 or 1 runs single-threaded, n > 1 spreads
+	// speculative PODEM generation across n shard workers (see
+	// ParallelRun). The result is byte-identical at every worker count
+	// -- shards only pre-compute what the deterministic merge would have
+	// computed anyway -- so Workers is purely a wall-clock knob.
+	Workers int
 	// SyncSeed prepends a precomputed structural synchronizing sequence
 	// (found by holding simple constant vectors, e.g. an asserted reset
 	// line) to every deterministic search, so state justification works
@@ -127,6 +134,10 @@ type Result struct {
 	// evaluations, drops, repacks) behind the dropping phases. Effort
 	// keeps the historical full-sweep estimate so budgets stay stable.
 	FsimStats fsim.Stats
+	// Parallel reports the speculation bookkeeping of the fault-sharded
+	// engine; nil when the run was single-threaded (Workers <= 1), so a
+	// Workers=1 result compares deep-equal to Run's.
+	Parallel *ParallelStats
 }
 
 // Counts returns (detected, redundant, aborted).
@@ -193,7 +204,12 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 	// (cycles x nodes x word groups over the survivors), not the much
 	// smaller measured event-driven work, so MaxEvalsTotal budgets keep
 	// their pre-incremental meaning; FsimStats carries the real counts.
+	var src candidateSource
 	finish := func(err error) (*Result, error) {
+		if src != nil {
+			src.close()
+			res.Parallel = src.parallelStats()
+		}
 		res.FsimStats = g.stats()
 		res.Effort.Time = time.Since(start)
 		return res, err
@@ -229,6 +245,11 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 	eng := newEngine(c, opt)
 	eng.ctx = ctx
 	remaining := g.remaining()
+	if opt.Workers > 1 {
+		src = newSpeculator(ctx, c, opt, remaining, eng)
+	} else {
+		src = serialSource{eng: eng}
+	}
 	for len(remaining) > 0 {
 		if err := ctx.Err(); err != nil {
 			return finish(err)
@@ -243,28 +264,29 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 			res.Status[f] = StatusAborted
 			continue
 		}
-		seq, status := eng.generate(f)
-		res.Effort.Evals += eng.evals
-		res.Effort.Backtracks += eng.backtracks
-		res.Status[f] = status
-		if eng.cancelled {
+		cand := src.next(f)
+		res.Effort.Evals += cand.evals
+		res.Effort.Backtracks += cand.backtracks
+		res.Status[f] = cand.status
+		if cand.cancelled {
 			return finish(ctx.Err())
 		}
-		if status != StatusDetected {
+		if cand.status != StatusDetected {
 			continue
 		}
-		res.Tests = append(res.Tests, seq)
-		res.TestSet = append(res.TestSet, seq...)
+		res.Tests = append(res.Tests, cand.seq)
+		res.TestSet = append(res.TestSet, cand.seq...)
 		// Fault dropping: simulate the new test over the survivors.
 		if live := g.liveCount(); live > 0 {
-			newly, gradeErr := g.grade(ctx, seq)
-			res.Effort.Evals += int64(len(seq)) * int64(len(c.Nodes)) * int64((live+fsim.GroupWidth-1)/fsim.GroupWidth)
+			newly, gradeErr := g.grade(ctx, cand.seq)
+			res.Effort.Evals += int64(len(cand.seq)) * int64(len(c.Nodes)) * int64((live+fsim.GroupWidth-1)/fsim.GroupWidth)
 			for _, d := range newly {
 				res.Status[d] = StatusDetected
 			}
 			if gradeErr != nil {
 				return finish(gradeErr)
 			}
+			src.accepted(cand.seq)
 			remaining = g.remaining()
 		}
 	}

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -60,4 +61,30 @@ func BenchmarkATPGWithDropping(b *testing.B) {
 			Run(c, faults, opt)
 		}
 	})
+}
+
+// BenchmarkATPGParallel pits the serial deterministic phase against the
+// fault-sharded speculative engine at increasing worker counts. The
+// workload weights toward PODEM (long random-phase disabled, generous
+// per-fault budget) because that is what the shards parallelize; the
+// merge-grader cost is identical in every arm. Speedup tracks physical
+// cores -- on a single-core host the parallel arms only measure the
+// speculation overhead.
+func BenchmarkATPGParallel(b *testing.B) {
+	c, faults := benchDropWorkload(b)
+	opt := benchDropOptions()
+	opt.RandomCount = 4
+	opt.MaxBacktracks = 20
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(c, faults, opt)
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelRun(c, faults, opt, workers)
+			}
+		})
+	}
 }

@@ -116,6 +116,7 @@ func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit
 		return nil, err
 	}
 	s.recordFsim(res.FsimStats)
+	s.recordParallel(res.Parallel)
 	det, red, ab := res.Counts()
 	out := &ATPGResult{
 		Faults:          len(faults),
@@ -127,6 +128,9 @@ func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit
 		Vectors:         vecStrings(res.TestSet),
 		Sequences:       len(res.Tests),
 		Evals:           res.Effort.Evals,
+	}
+	if res.Parallel != nil {
+		out.Workers = res.Parallel.Workers
 	}
 	return &Result{ATPG: out}, nil
 }
@@ -219,6 +223,23 @@ func (s *Service) recordFsim(st fsim.Stats) {
 	s.reg.Counter("fsim.drops").Add(st.Drops)
 	s.reg.Counter("fsim.repacks").Add(st.Repacks)
 	s.reg.Gauge("fsim.events_per_cycle").Set(int64(st.EventsPerCycle()))
+}
+
+// recordParallel folds the fault-sharded ATPG counters into the
+// registry; nil (a serial run) records nothing.
+func (s *Service) recordParallel(ps *atpg.ParallelStats) {
+	if ps == nil {
+		return
+	}
+	s.reg.Counter("atpg.parallel.runs").Add(1)
+	s.reg.Counter("atpg.parallel.speculated").Add(ps.Speculated)
+	s.reg.Counter("atpg.parallel.used").Add(ps.Used)
+	s.reg.Counter("atpg.parallel.wasted").Add(ps.Wasted)
+	s.reg.Counter("atpg.parallel.fortuitous").Add(ps.Fortuitous)
+	s.reg.Counter("atpg.parallel.driver_generated").Add(ps.DriverGenerated)
+	s.reg.Counter("atpg.parallel.broadcasts").Add(ps.Broadcasts)
+	s.reg.Gauge("atpg.parallel.workers").Set(int64(ps.Workers))
+	s.recordFsim(ps.GradeStats)
 }
 
 func vecStrings(seq sim.Seq) []string {

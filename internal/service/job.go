@@ -134,6 +134,10 @@ type ATPGSpec struct {
 	MaxEvalsTotal    int64 `json:"max_evals_total,omitempty"`
 	RandomPhase      *bool `json:"random_phase,omitempty"`
 	RandomSeed       int64 `json:"random_seed,omitempty"`
+	// Workers > 1 selects the fault-sharded parallel engine. Output is
+	// byte-identical at every worker count, so this only trades CPU for
+	// latency.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Options resolves the spec against the library defaults.
@@ -159,6 +163,9 @@ func (s *ATPGSpec) Options() atpg.Options {
 	}
 	if s.RandomSeed != 0 {
 		opt.RandomSeed = s.RandomSeed
+	}
+	if s.Workers > 0 {
+		opt.Workers = s.Workers
 	}
 	return opt
 }
@@ -196,6 +203,8 @@ type ATPGResult struct {
 	Vectors         []string `json:"vectors"`
 	Sequences       int      `json:"sequences"`
 	Evals           int64    `json:"evals"`
+	// Workers echoes the shard count a parallel run used (0 = serial).
+	Workers int `json:"workers,omitempty"`
 }
 
 // FaultSimResult reports a fault-simulation job.

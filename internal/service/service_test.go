@@ -131,6 +131,49 @@ func TestATPGJobDeterministic(t *testing.T) {
 	}
 }
 
+// TestATPGJobParallelWorkers drives the fault-sharded engine through
+// the job path: same test set as a serial job, shard count echoed in
+// the result, speculation counters in the metrics registry.
+func TestATPGJobParallelWorkers(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	c := netlist.Fig2C1()
+	bench := netlist.BenchString(c)
+
+	serial, err := s.Submit(Request{Kind: KindATPG, Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := waitDone(t, s, serial)
+	if sv.Status != StatusDone {
+		t.Fatalf("serial status %s, error %q", sv.Status, sv.Error)
+	}
+
+	parallel, err := s.Submit(Request{Kind: KindATPG, Bench: bench, ATPG: &ATPGSpec{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := waitDone(t, s, parallel)
+	if pv.Status != StatusDone {
+		t.Fatalf("parallel status %s, error %q", pv.Status, pv.Error)
+	}
+
+	if strings.Join(pv.Result.ATPG.Vectors, ",") != strings.Join(sv.Result.ATPG.Vectors, ",") {
+		t.Fatal("parallel job produced a different test set than the serial job")
+	}
+	if pv.Result.ATPG.Workers != 4 {
+		t.Fatalf("result echoes %d workers, want 4", pv.Result.ATPG.Workers)
+	}
+	if sv.Result.ATPG.Workers != 0 {
+		t.Fatalf("serial job reports %d workers, want 0", sv.Result.ATPG.Workers)
+	}
+	if got := s.Metrics().Counter("atpg.parallel.runs").Value(); got != 1 {
+		t.Fatalf("atpg.parallel.runs = %d, want 1", got)
+	}
+	if s.Metrics().Gauge("atpg.parallel.workers").Value() != 4 {
+		t.Fatal("atpg.parallel.workers gauge not recorded")
+	}
+}
+
 func TestFaultSimJob(t *testing.T) {
 	s := newTestService(t, Config{Workers: 1})
 	c := netlist.Fig2C1()

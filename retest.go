@@ -64,6 +64,9 @@ type (
 	// FaultSimStats counts fault-simulation work (cycles, gate
 	// evaluations, drops, repacks).
 	FaultSimStats = fsim.Stats
+	// ATPGParallelStats reports the speculation bookkeeping of a
+	// fault-sharded ParallelATPG run.
+	ATPGParallelStats = atpg.ParallelStats
 	// Fig6Result is the outcome of the retime-for-testability flow.
 	Fig6Result = core.Fig6Result
 	// PrefixFill selects how arbitrary prefix vectors are filled.
@@ -141,6 +144,22 @@ func ATPG(c *Circuit, faults []Fault, opt ATPGOptions) *ATPGResult { return atpg
 // uncancelled context the result is byte-identical to ATPG.
 func ATPGContext(ctx context.Context, c *Circuit, faults []Fault, opt ATPGOptions) (*ATPGResult, error) {
 	return atpg.RunContext(ctx, c, faults, opt)
+}
+
+// ParallelATPG runs the fault-sharded test generator: workers shard
+// workers speculate PODEM searches ahead of a deterministic merge, so
+// the result is byte-identical to ATPG at every worker count (modulo
+// wall-clock time and the Parallel stats block) while the deterministic
+// phase scales with physical cores.
+func ParallelATPG(c *Circuit, faults []Fault, opt ATPGOptions, workers int) *ATPGResult {
+	return atpg.ParallelRun(c, faults, opt, workers)
+}
+
+// ParallelATPGContext is ParallelATPG with cooperative cancellation
+// (the ATPGContext contract: partial result plus the context error on
+// early stop).
+func ParallelATPGContext(ctx context.Context, c *Circuit, faults []Fault, opt ATPGOptions, workers int) (*ATPGResult, error) {
+	return atpg.ParallelRunContext(ctx, c, faults, opt, workers)
 }
 
 // FaultSimulate fault-simulates a test sequence from the all-X initial

@@ -46,6 +46,24 @@ func TestFacadeWorkflow(t *testing.T) {
 	if fr.Coverage() < 0 {
 		t.Fatal("nonsense coverage")
 	}
+
+	// The fault-sharded engine must reproduce the serial test set and
+	// surface its speculation stats through the facade types.
+	pres := ParallelATPG(pair.Original, faults, opt, 4)
+	if len(pres.TestSet) != len(res.TestSet) {
+		t.Fatalf("parallel test set %d vectors, serial %d", len(pres.TestSet), len(res.TestSet))
+	}
+	for i := range pres.TestSet {
+		for j := range pres.TestSet[i] {
+			if pres.TestSet[i][j] != res.TestSet[i][j] {
+				t.Fatalf("parallel test set diverges at vector %d", i)
+			}
+		}
+	}
+	var ps *ATPGParallelStats = pres.Parallel
+	if ps == nil || ps.Workers != 4 {
+		t.Fatalf("parallel stats missing: %+v", ps)
+	}
 }
 
 func TestFacadeBenchIO(t *testing.T) {

@@ -48,3 +48,30 @@ awk -v max="$MAX" '
         exit status
     }
 ' benchmarks/baseline.txt benchmarks/latest.txt
+
+# The ATPG serial/parallel pair: report the measured speedup of each
+# worker arm over the serial arm in latest.txt. Informational only --
+# on a single-core host the parallel arms can only show overhead, so
+# this is not a gate (the byte-identical-output tests are the gate).
+awk '
+    /^BenchmarkATPGParallel\// {
+        name = $1
+        sub(/^BenchmarkATPGParallel\//, "", name)
+        # Drop the -GOMAXPROCS suffix without eating the worker count
+        # (Go omits the suffix entirely when GOMAXPROCS is 1).
+        if (name ~ /^serial/) name = "serial"
+        else if (match(name, /^workers-[0-9]+/)) name = substr(name, 1, RLENGTH)
+        else next
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "ns/op") { ns[name] = $i; order[++n] = name; break }
+    }
+    END {
+        if (!("serial" in ns)) exit 0
+        print "ATPG parallel pair (latest.txt):"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (name == "serial") continue
+            printf "  serial / %-12s = %.2fx\n", name, ns["serial"] / ns[name]
+        }
+    }
+' benchmarks/latest.txt

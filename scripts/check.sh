@@ -21,10 +21,19 @@ go build ./...
 echo "== go test -race (concurrency-heavy packages, fail fast)"
 go test -race -count=1 ./internal/fsim/... ./internal/service/... ./internal/failpoint/... ./cmd/servd/...
 
+echo "== go test -race -short (fault-sharded ATPG determinism + Theorem 1-4 metamorphic suite)"
+# -short keeps the gate fast: 12 theorem pairs and the 5-repeat
+# determinism gauntlet. The full 50-pair suite runs race-free in the
+# plain `go test ./...` tier-1 pass; drop -short here for a nightly run.
+go test -race -short -count=1 -run 'TestParallel|TestTheorem' ./internal/atpg/ ./internal/verify/
+
 echo "== go test -race"
-go test -race ./...
+go test -race -short ./...
 
 echo "== fuzz smoke (journal replay must survive arbitrary crash residue)"
 go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/service/
+
+echo "== fuzz smoke (.bench parser: accepted inputs must round-trip)"
+go test -run='^$' -fuzz=FuzzParseBench -fuzztime=5s ./internal/netlist/
 
 echo "check.sh: all green"
