@@ -29,6 +29,9 @@ type runConfig struct {
 	random     bool
 	workers    int
 	timeout    time.Duration
+	checkpoint string
+	every      int
+	resume     bool
 }
 
 // cliMain parses the arguments and dispatches; exit code 2 marks a
@@ -43,6 +46,9 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.BoolVar(&cfg.random, "random", true, "run the random-sequence pre-phase")
 	fs.IntVar(&cfg.workers, "workers", 1, "fault-shard workers for the deterministic phase (output is identical at any count)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget (0 = unlimited); partial results are still reported")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "durable checkpoint file; written atomically as faults are decided")
+	fs.IntVar(&cfg.every, "checkpoint-every", atpg.DefaultCheckpointEvery, "checkpoint cadence in decided faults")
+	fs.BoolVar(&cfg.resume, "resume", false, "resume from -checkpoint if it holds a usable prior run")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: atpg [flags] in.bench\n")
 		fs.PrintDefaults()
@@ -51,6 +57,11 @@ func cliMain(args []string, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	if cfg.resume && cfg.checkpoint == "" {
+		fmt.Fprintln(stderr, "atpg: -resume requires -checkpoint")
 		fs.Usage()
 		return 2
 	}
@@ -78,6 +89,21 @@ func run(path string, cfg runConfig, stdout, stderr io.Writer) error {
 	opt.MaxEvalsPerFault = cfg.budget
 	opt.RandomPhase = cfg.random
 	opt.Workers = cfg.workers
+	if cfg.checkpoint != "" {
+		opt.Checkpoint.Path = cfg.checkpoint
+		opt.Checkpoint.Every = cfg.every
+	}
+	if cfg.resume {
+		// A usable checkpoint seeds the run with the prior decisions; an
+		// unusable one (corrupt, version skew, different circuit or
+		// options) is discarded with a note and the run starts clean.
+		if resumed, discarded := atpg.TryResume(&opt, c, reps); resumed {
+			fmt.Fprintf(stderr, "atpg: resuming from %s (%d of %d faults already decided)\n",
+				cfg.checkpoint, len(opt.Checkpoint.ResumeFrom.Decided), len(reps))
+		} else if discarded != nil {
+			fmt.Fprintf(stderr, "atpg: ignoring unusable checkpoint %s: %v\n", cfg.checkpoint, discarded)
+		}
+	}
 
 	// Ctrl-C (or the -timeout deadline) interrupts the generator at its
 	// next cooperative check; the tests found so far are still written,
@@ -93,6 +119,11 @@ func run(path string, cfg runConfig, stdout, stderr io.Writer) error {
 	if ctxErr != nil {
 		fmt.Fprintf(stderr, "atpg: interrupted (%v); reporting partial results\n", ctxErr)
 		reportPrefix(stderr, res, len(reps))
+		if cfg.checkpoint != "" {
+			if _, statErr := os.Stat(cfg.checkpoint); statErr == nil {
+				fmt.Fprintf(stderr, "atpg: checkpoint written to %s; rerun with -resume to continue\n", cfg.checkpoint)
+			}
+		}
 	}
 
 	det, red, ab := res.Counts()

@@ -70,6 +70,80 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointResume runs with a checkpoint, then resumes from the
+// completed decision log: the CLI must note the resume and emit the
+// byte-identical test set.
+func TestRunCheckpointResume(t *testing.T) {
+	path := writeBench(t, netlist.Fig5N1())
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := defaultConfig()
+	cfg.random = false // every fault is a decided (checkpointed) boundary
+	cfg.checkpoint = ckpt
+	cfg.every = 1
+
+	var want bytes.Buffer
+	if err := run(path, cfg, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	cfg.resume = true
+	var out, errw bytes.Buffer
+	if err := run(path, cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "resuming from") {
+		t.Fatalf("no resume note:\n%s", errw.String())
+	}
+	if out.String() != want.String() {
+		t.Fatal("resumed run emitted a different test set")
+	}
+}
+
+// TestRunResumeDiscardsGarbage: -resume over a rotten checkpoint file
+// notes the discard and still completes with the clean-run output.
+func TestRunResumeDiscardsGarbage(t *testing.T) {
+	path := writeBench(t, netlist.Fig5N1())
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(ckpt, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultConfig()
+	cfg.random = false
+	var want bytes.Buffer
+	if err := run(path, cfg, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.checkpoint = ckpt
+	cfg.every = 1
+	cfg.resume = true
+	var out, errw bytes.Buffer
+	if err := run(path, cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "ignoring unusable checkpoint") {
+		t.Fatalf("no discard note:\n%s", errw.String())
+	}
+	if out.String() != want.String() {
+		t.Fatal("post-discard run emitted a different test set")
+	}
+}
+
+// TestResumeRequiresCheckpointFlag: -resume without -checkpoint is a
+// usage error, not a silent no-op.
+func TestResumeRequiresCheckpointFlag(t *testing.T) {
+	var errw bytes.Buffer
+	if code := cliMain([]string{"-resume", "in.bench"}, &errw); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-resume requires -checkpoint") {
+		t.Fatalf("missing usage message:\n%s", errw.String())
+	}
+}
+
 // TestRunInterruptedReportsPrefixCoverage cuts a parallel run off with
 // a tiny -timeout and checks the prefix-coverage line of the
 // partial-results contract appears.

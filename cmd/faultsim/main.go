@@ -13,7 +13,6 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
-	"time"
 
 	"repro/internal/fault"
 	"repro/internal/fsim"
@@ -42,14 +41,24 @@ func cliMain(args []string, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := run(fs.Arg(0), *tests, *list, *timeout); err != nil {
+	// Ctrl-C (or the -timeout deadline) stops simulation at the next
+	// 128-cycle block boundary; coverage over the processed prefix is
+	// still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, fs.Arg(0), *tests, *list, os.Stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "faultsim:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(path, testsPath string, listUndet bool, timeout time.Duration) error {
+func run(ctx context.Context, path, testsPath string, listUndet bool, stdout, stderr io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -86,26 +95,22 @@ func run(path, testsPath string, listUndet bool, timeout time.Duration) error {
 	}
 
 	reps, _ := fault.Collapse(c)
-	// Ctrl-C (or the -timeout deadline) stops simulation at the next
-	// 128-cycle block boundary; coverage over the processed prefix is
-	// still reported.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-	res, ctxErr := fsim.RunContext(ctx, c, reps, seq)
+	// The incremental simulator tracks how many cycles it actually ran,
+	// so an interrupted run can report the prefix it processed before
+	// flushing the partial coverage report below.
+	s := fsim.NewSimulator(c, reps)
+	_, ctxErr := s.SimulateContext(ctx, seq)
 	if ctxErr != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: interrupted (%v); reporting partial coverage\n", ctxErr)
+		fmt.Fprintf(stderr, "faultsim: interrupted (%v); processed %d/%d vectors; reporting prefix coverage\n",
+			ctxErr, s.Cycles(), len(seq))
 	}
-	fmt.Printf("%s: %d collapsed faults, %d vectors\n", c.Name, len(reps), len(seq))
-	fmt.Printf("detected %d, undetected %d, coverage %.2f%%\n",
+	res := s.Result()
+	fmt.Fprintf(stdout, "%s: %d collapsed faults, %d vectors\n", c.Name, len(reps), len(seq))
+	fmt.Fprintf(stdout, "detected %d, undetected %d, coverage %.2f%%\n",
 		res.Detected(), len(reps)-res.Detected(), res.Coverage())
 	if listUndet {
 		for _, u := range res.Undetected() {
-			fmt.Printf("undetected: %s\n", u.Name(c))
+			fmt.Fprintf(stdout, "undetected: %s\n", u.Name(c))
 		}
 	}
 	return nil

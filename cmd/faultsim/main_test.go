@@ -1,55 +1,71 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/netlist"
 )
 
-func silence(t *testing.T) {
+func writeInputs(t *testing.T, vectors string) (bench, tests string) {
 	t.Helper()
-	old := os.Stdout
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = devnull
-	t.Cleanup(func() {
-		os.Stdout = old
-		devnull.Close()
-	})
-}
-
-func TestRunFaultSim(t *testing.T) {
-	silence(t)
 	dir := t.TempDir()
-	bench := filepath.Join(dir, "c1.bench")
+	bench = filepath.Join(dir, "c1.bench")
 	if err := os.WriteFile(bench, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tests := filepath.Join(dir, "t.txt")
-	if err := os.WriteFile(tests, []byte("# two vectors\n11\n00\n"), 0o644); err != nil {
+	tests = filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(tests, []byte(vectors), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bench, tests, true, 0); err != nil {
-		t.Fatal(err)
+	return bench, tests
+}
+
+// TestRunFaultSim drives the CLI path to completion and through an
+// interruption: both must flush the coverage report (full or prefix),
+// and only the interrupted run notes how many vectors it processed.
+func TestRunFaultSim(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name        string
+		ctx         context.Context
+		interrupted bool
+	}{
+		{"completes", context.Background(), false},
+		{"interrupted", cancelled, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bench, tests := writeInputs(t, "# two vectors\n11\n00\n")
+			var out, errw bytes.Buffer
+			if err := run(c.ctx, bench, tests, true, &out, &errw); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "coverage") {
+				t.Fatalf("no coverage report flushed:\n%s", out.String())
+			}
+			if got := strings.Contains(errw.String(), "interrupted"); got != c.interrupted {
+				t.Fatalf("interrupted note = %v, want %v:\n%s", got, c.interrupted, errw.String())
+			}
+			if c.interrupted && !strings.Contains(errw.String(), "processed 0/2 vectors") {
+				t.Fatalf("interrupted run missing prefix note:\n%s", errw.String())
+			}
+			if !c.interrupted && !strings.Contains(out.String(), "2 vectors") {
+				t.Fatalf("completed run missing vector count:\n%s", out.String())
+			}
+		})
 	}
 }
 
 func TestRunRejectsWidthMismatch(t *testing.T) {
-	silence(t)
-	dir := t.TempDir()
-	bench := filepath.Join(dir, "c1.bench")
-	if err := os.WriteFile(bench, []byte(netlist.BenchString(netlist.Fig2C1())), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	tests := filepath.Join(dir, "t.txt")
-	if err := os.WriteFile(tests, []byte("101\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := run(bench, tests, false, 0); err == nil {
+	bench, tests := writeInputs(t, "101\n")
+	if err := run(context.Background(), bench, tests, false, io.Discard, io.Discard); err == nil {
 		t.Fatal("width mismatch accepted")
 	}
 }

@@ -14,6 +14,7 @@ package atpg
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/fault"
@@ -61,6 +62,12 @@ type Options struct {
 	// -- shards only pre-compute what the deterministic merge would have
 	// computed anyway -- so Workers is purely a wall-clock knob.
 	Workers int
+	// Checkpoint wires periodic durable checkpoints and resume into the
+	// run (see CheckpointConfig). Like Workers it is result-neutral: a
+	// checkpointed, killed and resumed run produces a Result
+	// byte-identical to an uninterrupted one (modulo Effort.Time and
+	// Parallel stats), at any worker count on either side.
+	Checkpoint CheckpointConfig
 	// SyncSeed prepends a precomputed structural synchronizing sequence
 	// (found by holding simple constant vectors, e.g. an asserted reset
 	// line) to every deterministic search, so state justification works
@@ -204,8 +211,16 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 	// (cycles x nodes x word groups over the survivors), not the much
 	// smaller measured event-driven work, so MaxEvalsTotal budgets keep
 	// their pre-incremental meaning; FsimStats carries the real counts.
+	ckw := newCkWriter(c, faults, opt)
 	var src candidateSource
 	finish := func(err error) (*Result, error) {
+		// Flush the tail of the decision log on every exit -- completion,
+		// cancellation (SIGINT), grade failure -- except when the error is
+		// the checkpoint itself being unusable: overwriting some other
+		// run's file from a half-replayed state would destroy evidence.
+		if !isCheckpointErr(err) {
+			ckw.final()
+		}
 		if src != nil {
 			src.close()
 			res.Parallel = src.parallelStats()
@@ -215,7 +230,18 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 		return res, err
 	}
 
+	resume := opt.Checkpoint.ResumeFrom
+	if resume != nil {
+		if err := resume.Validate(c, faults, opt); err != nil {
+			return finish(err)
+		}
+	}
+
 	if opt.RandomPhase && opt.RandomCount > 0 && opt.RandomLength > 0 {
+		// The random phase is a pure function of Options, so a resumed
+		// run replays it in full instead of persisting PRNG state; the
+		// grader walks the identical sequence of operations either way.
+		randomDone := 0
 		rngSeq := randomSequences(len(c.Inputs), opt)
 		for _, seq := range rngSeq {
 			if err := ctx.Err(); err != nil {
@@ -239,12 +265,56 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 			if gradeErr != nil {
 				return finish(gradeErr)
 			}
+			randomDone++
 		}
+		ckw.setRandomDone(randomDone)
 	}
 
 	eng := newEngine(c, opt)
 	eng.ctx = ctx
 	remaining := g.remaining()
+
+	// Resume: replay the checkpoint's decision log against the fresh
+	// grader before any new generation. Logged outcomes are applied
+	// without re-running PODEM; logged tests are re-graded so the
+	// incremental simulator, the Effort charges and the survivor list
+	// advance through the exact operation sequence of the original run.
+	// The candidate source (serial or speculative) is built only after
+	// the replay, over the post-replay survivors.
+	if resume != nil {
+		for _, d := range resume.Decided {
+			if err := ctx.Err(); err != nil {
+				return finish(err)
+			}
+			if len(remaining) == 0 || remaining[0] != d.Fault {
+				return finish(fmt.Errorf("%w: decision log diverges from the live fault list at %v",
+					ErrCheckpointMismatch, d.Fault))
+			}
+			remaining = remaining[1:]
+			g.drop(d.Fault)
+			res.Effort.Evals += d.Evals
+			res.Effort.Backtracks += d.Backtracks
+			res.Status[d.Fault] = d.Status
+			ckw.replayed(d)
+			if d.Status != StatusDetected {
+				continue
+			}
+			res.Tests = append(res.Tests, d.Seq)
+			res.TestSet = append(res.TestSet, d.Seq...)
+			if live := g.liveCount(); live > 0 {
+				newly, gradeErr := g.grade(ctx, d.Seq)
+				res.Effort.Evals += int64(len(d.Seq)) * int64(len(c.Nodes)) * int64((live+fsim.GroupWidth-1)/fsim.GroupWidth)
+				for _, x := range newly {
+					res.Status[x] = StatusDetected
+				}
+				if gradeErr != nil {
+					return finish(gradeErr)
+				}
+				remaining = g.remaining()
+			}
+		}
+	}
+
 	if opt.Workers > 1 {
 		src = newSpeculator(ctx, c, opt, remaining, eng)
 	} else {
@@ -262,6 +332,7 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 		g.drop(f)
 		if opt.MaxEvalsTotal > 0 && res.Effort.Evals >= opt.MaxEvalsTotal {
 			res.Status[f] = StatusAborted
+			ckw.decided(DecidedFault{Fault: f, Status: StatusAborted})
 			continue
 		}
 		cand := src.next(f)
@@ -269,9 +340,14 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 		res.Effort.Backtracks += cand.backtracks
 		res.Status[f] = cand.status
 		if cand.cancelled {
+			// A cancelled search has nondeterministic partial charges;
+			// it never enters the decision log, so a resumed run redoes
+			// this fault from scratch, deterministically.
 			return finish(ctx.Err())
 		}
 		if cand.status != StatusDetected {
+			ckw.decided(DecidedFault{Fault: f, Status: cand.status,
+				Evals: cand.evals, Backtracks: cand.backtracks})
 			continue
 		}
 		res.Tests = append(res.Tests, cand.seq)
@@ -284,11 +360,16 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 				res.Status[d] = StatusDetected
 			}
 			if gradeErr != nil {
+				// The grade was cut off mid-sequence; like a cancelled
+				// search this iteration is not logged and is redone in
+				// full on resume.
 				return finish(gradeErr)
 			}
 			src.accepted(cand.seq)
 			remaining = g.remaining()
 		}
+		ckw.decided(DecidedFault{Fault: f, Status: StatusDetected,
+			Evals: cand.evals, Backtracks: cand.backtracks, Seq: cand.seq})
 	}
 	return finish(nil)
 }

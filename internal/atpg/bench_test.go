@@ -3,6 +3,7 @@ package atpg
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/fault"
@@ -57,6 +58,29 @@ func BenchmarkATPGWithDropping(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		opt := benchDropOptions()
 		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Run(c, faults, opt)
+		}
+	})
+}
+
+// BenchmarkATPGCheckpointOverhead measures the durability tax: the
+// tracked dropping workload with checkpointing off versus writing an
+// atomic checkpoint every 64 decided faults (the default cadence). The
+// decision log is appended incrementally and the write is one encode +
+// tmp/rename per cadence, so the overhead budget is <=5%.
+func BenchmarkATPGCheckpointOverhead(b *testing.B) {
+	c, faults := benchDropWorkload(b)
+	b.Run("off", func(b *testing.B) {
+		opt := benchDropOptions()
+		for i := 0; i < b.N; i++ {
+			Run(c, faults, opt)
+		}
+	})
+	b.Run("every-64", func(b *testing.B) {
+		opt := benchDropOptions()
+		opt.Checkpoint.Path = filepath.Join(b.TempDir(), "bench.ckpt")
+		opt.Checkpoint.Every = DefaultCheckpointEvery
 		for i := 0; i < b.N; i++ {
 			Run(c, faults, opt)
 		}

@@ -1,0 +1,675 @@
+package atpg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/failpoint"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Checkpoint/resume layer.
+//
+// The generator's expensive state -- which faults were decided, how, at
+// what metered cost, and which tests were accepted -- is a pure function
+// of the per-fault decisions taken so far: the incremental fault
+// simulator, the PRNG-driven random phase and the parallel merge
+// frontier are all rebuilt deterministically by replaying that decision
+// log against a fresh run. A Checkpoint therefore persists exactly the
+// decision log (plus identity hashes binding it to one circuit, fault
+// list and option set), and resume replays it: every logged outcome is
+// applied without re-running PODEM, every logged test is re-graded
+// through the simulator so fault dropping, Effort charges and FsimStats
+// advance through the identical operation sequence. A run killed
+// anywhere and resumed from its last checkpoint yields a Result
+// byte-identical to an uninterrupted run (modulo Effort.Time and the
+// scheduling-dependent Parallel stats), at any worker count on either
+// side.
+
+// CheckpointVersion is the on-disk format version this build reads and
+// writes.
+const CheckpointVersion = 1
+
+// DefaultCheckpointEvery is the flush cadence when
+// CheckpointConfig.Every is unset.
+const DefaultCheckpointEvery = 64
+
+// checkpointMagic leads every encoded checkpoint.
+const checkpointMagic = "ATPGCKPT"
+
+// Failpoint names armed by chaos tests to crash inside the checkpoint
+// write path.
+const (
+	FailpointCheckpointBeforeWrite = "atpg.checkpoint.before-write"
+	FailpointCheckpointAfterTmp    = "atpg.checkpoint.after-tmp"
+	FailpointCheckpointAfterWrite  = "atpg.checkpoint.after-write"
+)
+
+// Checkpoint decode/validate errors. Decode failures wrap
+// ErrCheckpointCorrupt or ErrCheckpointVersion; Validate failures wrap
+// ErrCheckpointMismatch (right format, wrong run).
+var (
+	ErrCheckpointCorrupt  = errors.New("atpg: corrupt or truncated checkpoint")
+	ErrCheckpointVersion  = errors.New("atpg: unsupported checkpoint version")
+	ErrCheckpointMismatch = errors.New("atpg: checkpoint does not match this run")
+)
+
+// CheckpointConfig wires periodic durable checkpoints into a run; the
+// zero value disables them.
+type CheckpointConfig struct {
+	// Path names the checkpoint file. Writes are atomic: the encoding
+	// is written to Path+".tmp", fsynced, and renamed over Path, so a
+	// crash leaves either the previous complete checkpoint or the new
+	// one, never a torn file at Path.
+	Path string
+	// Every is the flush cadence in decided faults (default
+	// DefaultCheckpointEvery). A final flush also happens when the run
+	// ends, so an interrupted run's file covers every completed fault.
+	Every int
+	// OnWrite, when set, observes every emitted checkpoint and the
+	// outcome of its write (nil error when Path is empty). It runs on
+	// the generator goroutine; the *Checkpoint is live engine state and
+	// must not be retained or mutated -- call Encode to snapshot it.
+	OnWrite func(ck *Checkpoint, err error)
+	// OnResume, when set, observes the outcome of TryResume: resumed
+	// reports whether a checkpoint was installed, err why an existing
+	// file was discarded instead (nil when there was no file at all).
+	OnResume func(resumed bool, err error)
+	// ResumeFrom, when non-nil, replays the checkpoint's decision log
+	// before deterministic generation starts. It must validate against
+	// the run's circuit, fault list and options (see Validate);
+	// RunContext fails with ErrCheckpointMismatch otherwise.
+	ResumeFrom *Checkpoint
+}
+
+// DecidedFault is one entry of the decision log: the outcome and
+// metered cost of one deterministic-phase target fault. Seq is the
+// accepted test sequence and is non-empty exactly when Status is
+// StatusDetected.
+type DecidedFault struct {
+	Fault      fault.Fault
+	Status     FaultStatus
+	Evals      int64
+	Backtracks int64
+	Seq        sim.Seq
+}
+
+// Checkpoint is a durable snapshot of a run at a fault-loop boundary.
+// The hashes bind it to one (circuit, fault list, options) triple --
+// Workers and the Checkpoint config itself are excluded, so a
+// checkpoint resumes correctly across worker counts and checkpoint
+// cadences. RandomDone records how many random-phase sequences had been
+// graded (the phase is a pure function of Options and is always
+// replayed in full; the count is informational).
+type Checkpoint struct {
+	Version     int
+	CircuitHash uint64
+	FaultsHash  uint64
+	OptionsHash uint64
+	NumFaults   int
+	RandomDone  int
+	Decided     []DecidedFault
+}
+
+// newCheckpoint builds an empty checkpoint bound to the run's identity.
+func newCheckpoint(c *netlist.Circuit, faults []fault.Fault, opt Options) *Checkpoint {
+	return &Checkpoint{
+		Version:     CheckpointVersion,
+		CircuitHash: hashCircuit(c),
+		FaultsHash:  hashFaults(faults),
+		OptionsHash: hashOptions(opt),
+		NumFaults:   len(faults),
+	}
+}
+
+// Validate checks that the checkpoint belongs to this exact run:
+// matching format version, circuit, fault list and result-affecting
+// options, and an internally consistent decision log. It returns an
+// error wrapping ErrCheckpointVersion or ErrCheckpointMismatch.
+func (ck *Checkpoint) Validate(c *netlist.Circuit, faults []fault.Fault, opt Options) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("%w: checkpoint has version %d, this build uses %d",
+			ErrCheckpointVersion, ck.Version, CheckpointVersion)
+	}
+	if ck.NumFaults != len(faults) || ck.FaultsHash != hashFaults(faults) {
+		return fmt.Errorf("%w: fault list differs", ErrCheckpointMismatch)
+	}
+	if ck.CircuitHash != hashCircuit(c) {
+		return fmt.Errorf("%w: circuit differs", ErrCheckpointMismatch)
+	}
+	if ck.OptionsHash != hashOptions(opt) {
+		return fmt.Errorf("%w: generator options differ", ErrCheckpointMismatch)
+	}
+	if len(ck.Decided) > len(faults) {
+		return fmt.Errorf("%w: %d decided faults for a %d-fault list",
+			ErrCheckpointMismatch, len(ck.Decided), len(faults))
+	}
+	for _, d := range ck.Decided {
+		if (d.Status == StatusDetected) != (len(d.Seq) > 0) {
+			return fmt.Errorf("%w: decision log entry for %v is inconsistent",
+				ErrCheckpointMismatch, d.Fault)
+		}
+		for _, v := range d.Seq {
+			if len(v) != len(c.Inputs) {
+				return fmt.Errorf("%w: logged vector has %d bits, circuit has %d inputs",
+					ErrCheckpointMismatch, len(v), len(c.Inputs))
+			}
+		}
+	}
+	return nil
+}
+
+// Encode serializes the checkpoint into its canonical self-checksummed
+// binary form: magic, version, identity hashes, the decision log with
+// 2-bit-packed test vectors, and a trailing FNV-1a checksum over
+// everything before it. The encoding is canonical -- DecodeCheckpoint
+// accepts exactly the byte strings Encode produces -- so decode+encode
+// round-trips byte-identically.
+func (ck *Checkpoint) Encode() []byte {
+	buf := make([]byte, 0, 64+32*len(ck.Decided))
+	buf = append(buf, checkpointMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, CheckpointVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, ck.CircuitHash)
+	buf = binary.LittleEndian.AppendUint64(buf, ck.FaultsHash)
+	buf = binary.LittleEndian.AppendUint64(buf, ck.OptionsHash)
+	buf = binary.AppendUvarint(buf, uint64(ck.NumFaults))
+	buf = binary.AppendUvarint(buf, uint64(ck.RandomDone))
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Decided)))
+	for _, d := range ck.Decided {
+		buf = binary.AppendUvarint(buf, uint64(d.Fault.Node))
+		buf = binary.AppendVarint(buf, int64(d.Fault.Pin))
+		buf = append(buf, byte(d.Fault.SA), byte(d.Status))
+		buf = binary.AppendUvarint(buf, uint64(d.Evals))
+		buf = binary.AppendUvarint(buf, uint64(d.Backtracks))
+		if d.Status == StatusDetected {
+			width := 0
+			if len(d.Seq) > 0 {
+				width = len(d.Seq[0])
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(d.Seq)))
+			buf = binary.AppendUvarint(buf, uint64(width))
+			buf = appendPackedSeq(buf, d.Seq)
+		}
+	}
+	var h ckHash
+	h.init()
+	h.bytes(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.sum())
+}
+
+// DecodeCheckpoint parses an encoded checkpoint. It never panics on
+// arbitrary input: every failure mode (bad magic, checksum mismatch,
+// truncation, non-canonical varints, out-of-range values, trailing
+// bytes) returns an error wrapping ErrCheckpointCorrupt, except a valid
+// frame carrying an unknown version, which wraps ErrCheckpointVersion.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	headerLen := len(checkpointMagic) + 4 + 3*8
+	if len(data) < headerLen+3+8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCheckpointCorrupt, len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpointCorrupt)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	var h ckHash
+	h.init()
+	h.bytes(body)
+	if h.sum() != binary.LittleEndian.Uint64(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpointCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(checkpointMagic):]); v != CheckpointVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d",
+			ErrCheckpointVersion, v, CheckpointVersion)
+	}
+	r := ckReader{data: body, pos: len(checkpointMagic) + 4}
+	ck := &Checkpoint{Version: CheckpointVersion}
+	ck.CircuitHash = r.fixed64()
+	ck.FaultsHash = r.fixed64()
+	ck.OptionsHash = r.fixed64()
+	ck.NumFaults = int(r.uvarintMax(1 << 31))
+	ck.RandomDone = int(r.uvarintMax(1 << 31))
+	n := int(r.uvarintMax(1 << 31))
+	// A decision log entry is at least 6 bytes; reject counts the
+	// remaining input cannot possibly hold before allocating.
+	if r.ok() && n > (len(body)-r.pos)/6 {
+		return nil, fmt.Errorf("%w: decision log count %d exceeds input", ErrCheckpointCorrupt, n)
+	}
+	if r.ok() {
+		ck.Decided = make([]DecidedFault, 0, n)
+	}
+	for i := 0; i < n && r.ok(); i++ {
+		var d DecidedFault
+		d.Fault.Node = int(r.uvarintMax(1 << 31))
+		d.Fault.Pin = int(r.varintMin(fault.StemPin))
+		sa := r.byte()
+		if sa > 1 {
+			return nil, fmt.Errorf("%w: stuck-at value %d", ErrCheckpointCorrupt, sa)
+		}
+		d.Fault.SA = logic.V(sa)
+		st := r.byte()
+		if st > uint8(StatusRedundant) {
+			return nil, fmt.Errorf("%w: fault status %d", ErrCheckpointCorrupt, st)
+		}
+		d.Status = FaultStatus(st)
+		d.Evals = int64(r.uvarintMax(1 << 62))
+		d.Backtracks = int64(r.uvarintMax(1 << 62))
+		if d.Status == StatusDetected {
+			frames := int(r.uvarintMax(1 << 24))
+			width := int(r.uvarintMax(1 << 24))
+			if r.ok() && frames == 0 {
+				return nil, fmt.Errorf("%w: detected fault without a test", ErrCheckpointCorrupt)
+			}
+			d.Seq = r.packedSeq(frames, width)
+		}
+		if !r.ok() {
+			break
+		}
+		ck.Decided = append(ck.Decided, d)
+	}
+	if !r.ok() {
+		return nil, fmt.Errorf("%w: truncated or non-canonical encoding", ErrCheckpointCorrupt)
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCheckpointCorrupt, len(body)-r.pos)
+	}
+	return ck, nil
+}
+
+// WriteFile atomically persists the checkpoint: encode, write to
+// path+".tmp", fsync, rename over path. A crash mid-write leaves at
+// worst a stale .tmp next to the previous complete checkpoint.
+func (ck *Checkpoint) WriteFile(path string) error { return ck.writeFile(path, true) }
+
+// writeFile is WriteFile with the directory fsync optional: the
+// periodic writer pays it once to durably create the entry, then skips
+// it -- a rename lost to a crash merely resumes from the previous
+// complete checkpoint, which converges on the identical result.
+func (ck *Checkpoint) writeFile(path string, syncDir bool) error {
+	if err := failpoint.Inject(FailpointCheckpointBeforeWrite); err != nil {
+		return err
+	}
+	data := ck.Encode()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FailpointCheckpointAfterTmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Best-effort: make the rename itself durable.
+	if syncDir {
+		if d, err := os.Open(filepath.Dir(path)); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return failpoint.Inject(FailpointCheckpointAfterWrite)
+}
+
+// LoadCheckpoint reads and decodes the checkpoint at path. A missing
+// file returns an error satisfying errors.Is(err, os.ErrNotExist);
+// anything unreadable wraps ErrCheckpointCorrupt or
+// ErrCheckpointVersion.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(data)
+}
+
+// TryResume loads the checkpoint at opt.Checkpoint.Path, validates it
+// against this run, and installs it as opt.Checkpoint.ResumeFrom. A
+// missing file is a clean fresh start (false, nil). A file that exists
+// but cannot be used -- torn, corrupt, wrong version, or from a
+// different run -- is deleted along with any .tmp residue so it can
+// never wedge a retry loop, and the reason is returned (false, err):
+// the run proceeds cleanly from scratch. It is a no-op when no path is
+// configured or a ResumeFrom is already installed.
+func TryResume(opt *Options, c *netlist.Circuit, faults []fault.Fault) (resumed bool, discarded error) {
+	path := opt.Checkpoint.Path
+	if path == "" || opt.Checkpoint.ResumeFrom != nil {
+		return false, nil
+	}
+	report := func(resumed bool, err error) (bool, error) {
+		if opt.Checkpoint.OnResume != nil {
+			opt.Checkpoint.OnResume(resumed, err)
+		}
+		return resumed, err
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		os.Remove(path)
+		os.Remove(path + ".tmp")
+		return report(false, err)
+	}
+	if err := ck.Validate(c, faults, *opt); err != nil {
+		os.Remove(path)
+		os.Remove(path + ".tmp")
+		return report(false, err)
+	}
+	opt.Checkpoint.ResumeFrom = ck
+	return report(true, nil)
+}
+
+// isCheckpointErr reports whether err came from checkpoint decode or
+// validation -- failures that must not trigger a final checkpoint write
+// (the on-disk file belongs to some other run and overwriting it from a
+// half-replayed state would destroy evidence).
+func isCheckpointErr(err error) bool {
+	return errors.Is(err, ErrCheckpointMismatch) ||
+		errors.Is(err, ErrCheckpointVersion) ||
+		errors.Is(err, ErrCheckpointCorrupt)
+}
+
+// ckWriter accumulates the decision log during a run and emits
+// checkpoints on cadence. Nil is a valid receiver (checkpointing off).
+// It lives on the generator goroutine only.
+type ckWriter struct {
+	cfg       CheckpointConfig
+	every     int
+	ck        *Checkpoint
+	since     int  // decided entries since the last emit
+	dirSynced bool // directory entry made durable by a prior emit
+}
+
+// newCkWriter returns nil unless the options ask for checkpoints.
+func newCkWriter(c *netlist.Circuit, faults []fault.Fault, opt Options) *ckWriter {
+	cfg := opt.Checkpoint
+	if cfg.Path == "" && cfg.OnWrite == nil {
+		return nil
+	}
+	every := cfg.Every
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	return &ckWriter{cfg: cfg, every: every, ck: newCheckpoint(c, faults, opt)}
+}
+
+func (w *ckWriter) setRandomDone(n int) {
+	if w != nil {
+		w.ck.RandomDone = n
+	}
+}
+
+// replayed appends a log entry restored from a resumed checkpoint; it
+// is already durable and does not count toward the flush cadence.
+func (w *ckWriter) replayed(d DecidedFault) {
+	if w != nil {
+		w.ck.Decided = append(w.ck.Decided, d)
+	}
+}
+
+// decided appends a freshly decided fault and flushes on cadence.
+func (w *ckWriter) decided(d DecidedFault) {
+	if w == nil {
+		return
+	}
+	w.ck.Decided = append(w.ck.Decided, d)
+	if w.since++; w.since >= w.every {
+		w.emit()
+	}
+}
+
+// final flushes the tail of the log when the run ends for any reason --
+// completion, cancellation (SIGINT), or failure.
+func (w *ckWriter) final() {
+	if w != nil && w.since > 0 {
+		w.emit()
+	}
+}
+
+// emit writes the checkpoint (write failures degrade durability, never
+// the run) and reports it to OnWrite.
+func (w *ckWriter) emit() {
+	w.since = 0
+	var err error
+	if w.cfg.Path != "" {
+		err = w.ck.writeFile(w.cfg.Path, !w.dirSynced)
+		if err == nil {
+			w.dirSynced = true
+		}
+	}
+	if w.cfg.OnWrite != nil {
+		w.cfg.OnWrite(w.ck, err)
+	}
+}
+
+// --- identity hashing and the canonical wire format ---
+
+// ckHash is inline FNV-1a/64.
+type ckHash uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (h *ckHash) init() { *h = fnvOffset64 }
+
+func (h *ckHash) bytes(p []byte) {
+	x := uint64(*h)
+	for _, b := range p {
+		x ^= uint64(b)
+		x *= fnvPrime64
+	}
+	*h = ckHash(x)
+}
+
+func (h *ckHash) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.bytes(b[:])
+}
+
+func (h *ckHash) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *ckHash) flag(b bool) {
+	if b {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+func (h *ckHash) sum() uint64 { return uint64(*h) }
+
+// hashCircuit fingerprints the circuit through its canonical bench
+// rendering.
+func hashCircuit(c *netlist.Circuit) uint64 {
+	var h ckHash
+	h.init()
+	h.bytes([]byte(netlist.BenchString(c)))
+	return h.sum()
+}
+
+// hashFaults fingerprints the target fault list, order included (the
+// decision log is positional).
+func hashFaults(faults []fault.Fault) uint64 {
+	var h ckHash
+	h.init()
+	h.i64(int64(len(faults)))
+	for _, f := range faults {
+		h.i64(int64(f.Node))
+		h.i64(int64(f.Pin))
+		h.u64(uint64(f.SA))
+	}
+	return h.sum()
+}
+
+// hashOptions fingerprints the result-affecting options. Workers and
+// the Checkpoint config are deliberately excluded: both are
+// result-neutral, so a checkpoint taken at one worker count or cadence
+// resumes at any other.
+func hashOptions(opt Options) uint64 {
+	var h ckHash
+	h.init()
+	h.i64(int64(opt.MaxFrames))
+	h.i64(int64(opt.MaxBacktracks))
+	h.i64(opt.MaxEvalsPerFault)
+	h.i64(opt.MaxEvalsTotal)
+	h.flag(opt.GuidedBacktrace)
+	h.u64(uint64(opt.FillValue))
+	h.flag(opt.RandomPhase)
+	h.i64(int64(opt.RandomLength))
+	h.i64(int64(opt.RandomCount))
+	h.i64(opt.RandomSeed)
+	h.flag(opt.IdentifyRedundant)
+	h.flag(opt.SyncSeed)
+	h.flag(opt.fullResim)
+	return h.sum()
+}
+
+// appendPackedSeq packs a test sequence at 2 bits per logic value
+// (Zero=0, One=1, X=2), zero-padding the final byte.
+func appendPackedSeq(buf []byte, seq sim.Seq) []byte {
+	var acc byte
+	k := 0
+	for _, v := range seq {
+		for _, x := range v {
+			acc |= byte(x) << (2 * uint(k&3))
+			if k++; k&3 == 0 {
+				buf = append(buf, acc)
+				acc = 0
+			}
+		}
+	}
+	if k&3 != 0 {
+		buf = append(buf, acc)
+	}
+	return buf
+}
+
+// ckReader is a bounds- and canonicality-checked decoder over one
+// encoded checkpoint body. Every accessor is a no-op once an error is
+// latched; callers test ok() at the end.
+type ckReader struct {
+	data []byte
+	pos  int
+	bad  bool
+}
+
+func (r *ckReader) ok() bool { return !r.bad }
+
+func (r *ckReader) fail() uint64 {
+	r.bad = true
+	return 0
+}
+
+func (r *ckReader) byte() uint8 {
+	if r.bad || r.pos >= len(r.data) {
+		return uint8(r.fail())
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *ckReader) fixed64() uint64 {
+	if r.bad || r.pos+8 > len(r.data) {
+		return r.fail()
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// uvarintMax reads a canonical (minimal-length) unsigned varint no
+// greater than max.
+func (r *ckReader) uvarintMax(max uint64) uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 || n != uvarintLen(v) || v > max {
+		return r.fail()
+	}
+	r.pos += n
+	return v
+}
+
+// varintMin reads a canonical signed varint no less than min (and no
+// greater than 1<<31).
+func (r *ckReader) varintMin(min int) int64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	ux := uint64(v) << 1
+	if v < 0 {
+		ux = ^ux
+	}
+	if n <= 0 || n != uvarintLen(ux) || v < int64(min) || v > 1<<31 {
+		return int64(r.fail())
+	}
+	r.pos += n
+	return v
+}
+
+// packedSeq reads frames x width 2-bit logic values, rejecting invalid
+// values and non-zero padding (both would break canonical round-trip).
+func (r *ckReader) packedSeq(frames, width int) sim.Seq {
+	if r.bad {
+		return nil
+	}
+	total := frames * width
+	nbytes := (total + 3) / 4
+	if r.pos+nbytes > len(r.data) {
+		r.fail()
+		return nil
+	}
+	raw := r.data[r.pos : r.pos+nbytes]
+	r.pos += nbytes
+	seq := make(sim.Seq, frames)
+	flat := make(sim.Vec, total)
+	for k := 0; k < total; k++ {
+		x := logic.V(raw[k/4] >> (2 * uint(k&3)) & 3)
+		if x > logic.X {
+			r.fail()
+			return nil
+		}
+		flat[k] = x
+	}
+	if total&3 != 0 && raw[nbytes-1]>>(2*uint(total&3)) != 0 {
+		r.fail() // non-zero padding bits
+		return nil
+	}
+	for t := range seq {
+		seq[t] = flat[t*width : (t+1)*width : (t+1)*width]
+	}
+	return seq
+}
+
+// uvarintLen is the minimal encoded length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package atpg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// FuzzCheckpointRestore hardens the checkpoint decoder against crash
+// residue: arbitrary bytes (torn writes, disk rot, version skew) must
+// decode to a clean sentinel error or to a checkpoint whose re-encoding
+// is byte-identical to the input -- the canonicality invariant the
+// resume path and the service's discard logic rely on.
+func FuzzCheckpointRestore(f *testing.F) {
+	// Real encodings at several boundaries, plus classic residue shapes.
+	for _, c := range []*netlist.Circuit{netlist.Fig2C1(), netlist.Fig5N1()} {
+		var snaps [][]byte
+		opt := checkpointOptions()
+		opt.Checkpoint = CheckpointConfig{
+			Every:   1,
+			OnWrite: func(ck *Checkpoint, err error) { snaps = append(snaps, ck.Encode()) },
+		}
+		reps, _ := fault.Collapse(c)
+		Run(c, reps, opt)
+		empty := newCheckpoint(c, reps, opt)
+		snaps = append(snaps, empty.Encode())
+		for _, s := range snaps {
+			f.Add(s)
+			f.Add(s[:len(s)/2]) // truncation
+			f.Add(append(s, 0)) // trailing garbage
+			mut := append([]byte(nil), s...)
+			mut[len(mut)/3] ^= 0x40 // bit rot
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(checkpointMagic))
+	// Pinned regressions: shapes that stress allocation caps and
+	// canonical-varint checks.
+	f.Add([]byte("ATPGCKPT\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add(append([]byte("ATPGCKPT\x01\x00\x00\x00"), bytes.Repeat([]byte{0x80}, 64)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointVersion) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		enc := ck.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input does not round-trip:\n in:  %x\n out: %x", data, enc)
+		}
+		if ck2, err := DecodeCheckpoint(enc); err != nil || len(ck2.Decided) != len(ck.Decided) {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+	})
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
+	"os"
 
 	"repro/internal/atpg"
 	"repro/internal/fault"
@@ -64,7 +66,20 @@ func Fig6FlowContext(ctx context.Context, impl *netlist.Circuit, opt atpg.Option
 	}
 
 	easyFaults, _ := fault.Collapse(pair.Original)
+	// With a checkpoint path configured (the job service wires one in),
+	// the expensive ATPG leg resumes from a crashed earlier attempt's
+	// checkpoint. The easy circuit and its fault list are recomputed
+	// deterministically above, so the checkpoint's identity hashes
+	// validate across process restarts; an unusable file is discarded to
+	// a clean restart, never a wedged flow.
+	atpg.TryResume(&opt, pair.Original, easyFaults)
 	res, err := atpg.RunContext(ctx, pair.Original, easyFaults, opt)
+	if errors.Is(err, atpg.ErrCheckpointMismatch) && opt.Checkpoint.Path != "" {
+		os.Remove(opt.Checkpoint.Path)
+		os.Remove(opt.Checkpoint.Path + ".tmp")
+		opt.Checkpoint.ResumeFrom = nil
+		res, err = atpg.RunContext(ctx, pair.Original, easyFaults, opt)
+	}
 	if err != nil {
 		return nil, err
 	}

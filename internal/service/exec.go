@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -35,8 +36,10 @@ func (s *Service) stage(ctx context.Context, name string, f func() error) error 
 
 // execute runs the request's pipeline, one instrumented stage at a
 // time. Every stage is a plain library call with deterministic options,
-// so the result matches the equivalent direct call exactly.
-func (s *Service) execute(ctx context.Context, req *Request) (*Result, error) {
+// so the result matches the equivalent direct call exactly. The job ID
+// names the durable checkpoint file ATPG-bearing kinds resume from
+// after a crash.
+func (s *Service) execute(ctx context.Context, id string, req *Request) (*Result, error) {
 	var c *netlist.Circuit
 	if err := s.stage(ctx, "parse", func() error {
 		var err error
@@ -49,11 +52,11 @@ func (s *Service) execute(ctx context.Context, req *Request) (*Result, error) {
 	case KindRetime:
 		return s.execRetime(ctx, req, c)
 	case KindATPG:
-		return s.execATPG(ctx, req, c)
+		return s.execATPG(ctx, id, req, c)
 	case KindFaultSim:
 		return s.execFaultSim(ctx, req, c)
 	case KindDeriveTests:
-		return s.execDerive(ctx, req, c)
+		return s.execDerive(ctx, id, req, c)
 	}
 	return nil, fmt.Errorf("service: unknown job kind %q", req.Kind)
 }
@@ -99,7 +102,7 @@ func (s *Service) execRetime(ctx context.Context, req *Request, c *netlist.Circu
 	return &Result{Retime: out}, nil
 }
 
-func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit) (*Result, error) {
+func (s *Service) execATPG(ctx context.Context, id string, req *Request, c *netlist.Circuit) (*Result, error) {
 	var faults []fault.Fault
 	if err := s.stage(ctx, "collapse", func() error {
 		faults, _ = fault.Collapse(c)
@@ -107,10 +110,24 @@ func (s *Service) execATPG(ctx context.Context, req *Request, c *netlist.Circuit
 	}); err != nil {
 		return nil, err
 	}
+	// Resume from the job's durable checkpoint when a valid one exists
+	// (a crashed earlier attempt left it); an unusable file is discarded
+	// to a clean restart and can never block the retry.
+	opt := req.ATPG.Options()
+	opt.Checkpoint = s.checkpointConfig(id)
+	atpg.TryResume(&opt, c, faults)
 	var res *atpg.Result
 	if err := s.stage(ctx, "atpg", func() error {
 		var err error
-		res, err = atpg.RunContext(ctx, c, faults, req.ATPG.Options())
+		res, err = atpg.RunContext(ctx, c, faults, opt)
+		if errors.Is(err, atpg.ErrCheckpointMismatch) {
+			// The file validated but its decision log diverged mid-replay
+			// (hand-edited, or an identity-hash collision): discard it and
+			// run clean rather than fail the job.
+			s.discardCheckpoint(opt.Checkpoint.Path)
+			opt.Checkpoint.ResumeFrom = nil
+			res, err = atpg.RunContext(ctx, c, faults, opt)
+		}
 		return err
 	}); err != nil {
 		return nil, err
@@ -171,17 +188,22 @@ func (s *Service) execFaultSim(ctx context.Context, req *Request, c *netlist.Cir
 	return &Result{FaultSim: out}, nil
 }
 
-func (s *Service) execDerive(ctx context.Context, req *Request, c *netlist.Circuit) (*Result, error) {
+func (s *Service) execDerive(ctx context.Context, id string, req *Request, c *netlist.Circuit) (*Result, error) {
 	// Fig6Flow bundles retime+ATPG+derive+fsim; run it as one "fig6"
 	// stage and re-check the deadline before the final bookkeeping.
 	fill, err := parseFill(req.Fill)
 	if err != nil {
 		return nil, err
 	}
+	// The expensive ATPG leg inside the flow checkpoints to the job's
+	// file; the flow itself resumes it (only there are the easy circuit
+	// and its fault list known), reporting through the config callbacks.
+	opt := req.ATPG.Options()
+	opt.Checkpoint = s.checkpointConfig(id)
 	var flow *core.Fig6Result
 	if err := s.stage(ctx, "fig6", func() error {
 		var err error
-		flow, err = core.Fig6FlowContext(ctx, c, req.ATPG.Options())
+		flow, err = core.Fig6FlowContext(ctx, c, opt)
 		return err
 	}); err != nil {
 		return nil, err

@@ -19,10 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/atpg"
+	"repro/internal/failpoint"
 	"repro/internal/metrics"
 )
 
@@ -59,6 +63,14 @@ type Config struct {
 	// speed. Defaults 100ms / 5s.
 	RetryBackoff    time.Duration
 	RetryBackoffCap time.Duration
+
+	// CheckpointEvery is the durable ATPG checkpoint cadence in decided
+	// faults for journaled ATPG and DeriveTests jobs: each such job
+	// keeps a <job-id>.ckpt file next to the journal, and a retry after
+	// a crash resumes from it instead of restarting (byte-identical
+	// result either way). Default 64; checkpoints are disabled when the
+	// service runs without a journal.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoffCap <= 0 {
 		c.RetryBackoffCap = 5 * time.Second
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = atpg.DefaultCheckpointEvery
 	}
 	return c
 }
@@ -239,7 +254,102 @@ func (s *Service) recover(path string) (requeue []*Job, backoffs []time.Duration
 	if n := len(requeue); n > 0 {
 		s.reg.Counter("jobs.recovered").Add(int64(n))
 	}
+	s.sweepCheckpoints()
 	return requeue, backoffs, nil
+}
+
+// checkpointPath names a job's durable ATPG checkpoint file, kept next
+// to the journal; empty when the service runs without a journal.
+func (s *Service) checkpointPath(id string) string {
+	if s.cfg.JournalPath == "" {
+		return ""
+	}
+	return filepath.Join(filepath.Dir(s.cfg.JournalPath), id+".ckpt")
+}
+
+// checkpointConfig builds the per-job checkpoint wiring: the durable
+// path, the configured cadence, and the atpg.checkpoint.* metrics.
+func (s *Service) checkpointConfig(id string) atpg.CheckpointConfig {
+	path := s.checkpointPath(id)
+	if path == "" {
+		return atpg.CheckpointConfig{}
+	}
+	return atpg.CheckpointConfig{
+		Path:  path,
+		Every: s.cfg.CheckpointEvery,
+		OnWrite: func(_ *atpg.Checkpoint, err error) {
+			if err != nil {
+				s.reg.Counter("atpg.checkpoint.errors").Inc()
+			} else {
+				s.reg.Counter("atpg.checkpoint.written").Inc()
+			}
+		},
+		OnResume: func(resumed bool, err error) {
+			switch {
+			case resumed:
+				s.reg.Counter("atpg.checkpoint.resumed").Inc()
+			case err != nil:
+				s.reg.Counter("atpg.checkpoint.discarded").Inc()
+			}
+		},
+	}
+}
+
+// discardCheckpoint deletes a checkpoint the service decided not to
+// trust (plus any torn-write residue) and counts the discard.
+func (s *Service) discardCheckpoint(path string) {
+	if path == "" {
+		return
+	}
+	os.Remove(path)
+	os.Remove(path + ".tmp")
+	s.reg.Counter("atpg.checkpoint.discarded").Inc()
+}
+
+// removeCheckpoint deletes a terminal job's checkpoint file and any
+// .tmp residue. The service.checkpoint.before-remove failpoint lets
+// chaos tests simulate a crash that journals the terminal state but
+// dies before this cleanup; recovery's orphan sweep then collects it.
+func (s *Service) removeCheckpoint(id string) {
+	path := s.checkpointPath(id)
+	if path == "" {
+		return
+	}
+	if failpoint.Inject("service.checkpoint.before-remove") != nil {
+		return
+	}
+	os.Remove(path)
+	os.Remove(path + ".tmp")
+}
+
+// sweepCheckpoints runs at recovery, after the journal replay settled
+// every job's fate: it deletes checkpoint residue that must not be
+// trusted -- *.ckpt.tmp torn-write leftovers, and *.ckpt files whose
+// job is unknown to the journal or already terminal (a crash landed
+// between the terminal journal entry and the file cleanup). Files of
+// jobs being re-queued survive: they are exactly what the retries
+// resume from. Discarded .ckpt files count toward
+// atpg.checkpoint.discarded; an orphaned file can therefore never
+// wedge recovery, at worst it costs one clean restart of that job.
+func (s *Service) sweepCheckpoints() {
+	dir := filepath.Dir(s.cfg.JournalPath)
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.ckpt.tmp"))
+	for _, p := range tmps {
+		os.Remove(p)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	discarded := 0
+	for _, p := range files {
+		id := strings.TrimSuffix(filepath.Base(p), ".ckpt")
+		if j, ok := s.jobs[id]; ok && !j.status.Terminal() {
+			continue
+		}
+		os.Remove(p)
+		discarded++
+	}
+	if discarded > 0 {
+		s.reg.Counter("atpg.checkpoint.discarded").Add(int64(discarded))
+	}
 }
 
 // Metrics returns the service's registry (for the /metrics endpoint).
@@ -501,7 +611,7 @@ func (s *Service) runJob(j *Job) {
 				done <- outcome{nil, fmt.Errorf("service: job panicked: %v", r)}
 			}
 		}()
-		res, err := s.execute(ctx, &j.req)
+		res, err := s.execute(ctx, j.id, &j.req)
 		done <- outcome{res, err}
 	}()
 
@@ -537,6 +647,9 @@ func (s *Service) finishJob(j *Job, res *Result, err error) {
 		s.reg.Counter("jobs.failed." + kind).Inc()
 		s.journalAppend(journalEntry{Event: evFailed, ID: j.id, Error: err.Error()})
 	}
+	// A job that reached a terminal state will never resume; its
+	// checkpoint (if any) is dead weight.
+	s.removeCheckpoint(j.id)
 	s.reg.Histogram("jobs.latency." + kind).Observe(dur)
 }
 

@@ -67,6 +67,13 @@ type (
 	// ATPGParallelStats reports the speculation bookkeeping of a
 	// fault-sharded ParallelATPG run.
 	ATPGParallelStats = atpg.ParallelStats
+	// ATPGCheckpoint is a durable snapshot of an ATPG run's decision
+	// log; resuming from one reproduces the uninterrupted run's result
+	// byte for byte.
+	ATPGCheckpoint = atpg.Checkpoint
+	// ATPGCheckpointConfig wires periodic checkpoint writes (and a
+	// resume source) into ATPGOptions.Checkpoint.
+	ATPGCheckpointConfig = atpg.CheckpointConfig
 	// Fig6Result is the outcome of the retime-for-testability flow.
 	Fig6Result = core.Fig6Result
 	// PrefixFill selects how arbitrary prefix vectors are filled.
@@ -160,6 +167,26 @@ func ParallelATPG(c *Circuit, faults []Fault, opt ATPGOptions, workers int) *ATP
 // early stop).
 func ParallelATPGContext(ctx context.Context, c *Circuit, faults []Fault, opt ATPGOptions, workers int) (*ATPGResult, error) {
 	return atpg.ParallelRunContext(ctx, c, faults, opt, workers)
+}
+
+// LoadATPGCheckpoint reads and decodes a checkpoint file; the error
+// distinguishes a missing file (os.ErrNotExist) from a corrupt or
+// version-skewed one (atpg.ErrCheckpointCorrupt/ErrCheckpointVersion).
+func LoadATPGCheckpoint(path string) (*ATPGCheckpoint, error) { return atpg.LoadCheckpoint(path) }
+
+// ATPGWithCheckpoint is ATPGContext with durable crash recovery: the
+// run writes an atomic checkpoint to path every `every` decided faults
+// (0 selects the default cadence) and, when path already holds a
+// usable checkpoint of the same run, resumes from it instead of
+// starting over. Killed anywhere and re-invoked, it converges on the
+// byte-identical result of an uninterrupted run; an unusable
+// checkpoint (corrupt, version skew, different circuit, fault list or
+// options) is discarded and the run starts clean.
+func ATPGWithCheckpoint(ctx context.Context, c *Circuit, faults []Fault, opt ATPGOptions, path string, every int) (*ATPGResult, error) {
+	opt.Checkpoint.Path = path
+	opt.Checkpoint.Every = every
+	atpg.TryResume(&opt, c, faults)
+	return atpg.RunContext(ctx, c, faults, opt)
 }
 
 // FaultSimulate fault-simulates a test sequence from the all-X initial

@@ -1,6 +1,9 @@
 package retest
 
 import (
+	"context"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -118,5 +121,41 @@ func TestFacadeFig6(t *testing.T) {
 	}
 	if out.ImplCoverage() < 0 || out.ImplCoverage() > 100 {
 		t.Fatal("bad coverage")
+	}
+}
+
+// TestFacadeATPGWithCheckpoint runs the checkpointing entry point
+// twice against the same file: the second call resumes from the
+// first's completed decision log and must reproduce its test set.
+func TestFacadeATPGWithCheckpoint(t *testing.T) {
+	c, err := ParseBench("toy", strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultATPGOptions()
+	opt.RandomPhase = false // make every fault a checkpointed boundary
+	faults := CollapsedFaults(c)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	first, err := ATPGWithCheckpoint(context.Background(), c, faults, opt, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadATPGCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Decided) == 0 {
+		t.Fatal("checkpoint recorded no decisions")
+	}
+	again, err := ATPGWithCheckpoint(context.Background(), c, faults, opt, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.TestSet, first.TestSet) {
+		t.Fatal("resumed test set differs from the original run")
+	}
+	if !reflect.DeepEqual(again.Status, first.Status) {
+		t.Fatal("resumed fault statuses differ from the original run")
 	}
 }

@@ -2,7 +2,7 @@
 # bench.sh — run the tracked benchmark set and write benchmarks/latest.txt.
 #
 #   BENCH_PKGS     packages to benchmark   (default: ./internal/fsim ./internal/atpg)
-#   BENCH_PATTERN  -bench regexp           (default: BenchmarkFsim|BenchmarkATPGWithDropping|BenchmarkATPGParallel)
+#   BENCH_PATTERN  -bench regexp           (default: BenchmarkFsim|BenchmarkATPGWithDropping|BenchmarkATPGParallel|BenchmarkATPGCheckpointOverhead)
 #   BENCH_COUNT    -count                  (default: 1)
 #
 # Review the result, then promote it with scripts/bench-update.sh.
@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 PKGS="${BENCH_PKGS:-./internal/fsim ./internal/atpg}"
-PATTERN="${BENCH_PATTERN:-BenchmarkFsim|BenchmarkATPGWithDropping|BenchmarkATPGParallel}"
+PATTERN="${BENCH_PATTERN:-BenchmarkFsim|BenchmarkATPGWithDropping|BenchmarkATPGParallel|BenchmarkATPGCheckpointOverhead}"
 COUNT="${BENCH_COUNT:-1}"
 
 mkdir -p benchmarks

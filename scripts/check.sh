@@ -27,6 +27,12 @@ echo "== go test -race -short (fault-sharded ATPG determinism + Theorem 1-4 meta
 # plain `go test ./...` tier-1 pass; drop -short here for a nightly run.
 go test -race -short -count=1 -run 'TestParallel|TestTheorem' ./internal/atpg/ ./internal/verify/
 
+echo "== go test -race -short (checkpoint kill/resume chaos: crash anywhere, resume, byte-identical)"
+# -short samples 3 kill points per snapshot set and workers {1,4}; the
+# plain tier-1 pass (and a nightly run without -short) widens to up to
+# 10 kill points and workers {1,2,4}.
+go test -race -short -count=1 -run 'TestCheckpoint' ./internal/atpg/
+
 echo "== go test -race"
 go test -race -short ./...
 
@@ -35,5 +41,8 @@ go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/service/
 
 echo "== fuzz smoke (.bench parser: accepted inputs must round-trip)"
 go test -run='^$' -fuzz=FuzzParseBench -fuzztime=5s ./internal/netlist/
+
+echo "== fuzz smoke (checkpoint decoder: arbitrary bytes -> clean error or canonical round-trip)"
+go test -run='^$' -fuzz=FuzzCheckpointRestore -fuzztime=5s ./internal/atpg/
 
 echo "check.sh: all green"
