@@ -16,6 +16,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,7 @@ type runConfig struct {
 	checkpoint string
 	every      int
 	resume     bool
+	cacheDir   string
 }
 
 // cliMain parses the arguments and dispatches; exit code 2 marks a
@@ -49,6 +51,7 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "durable checkpoint file; written atomically as faults are decided")
 	fs.IntVar(&cfg.every, "checkpoint-every", atpg.DefaultCheckpointEvery, "checkpoint cadence in decided faults")
 	fs.BoolVar(&cfg.resume, "resume", false, "resume from -checkpoint if it holds a usable prior run")
+	fs.StringVar(&cfg.cacheDir, "cache-dir", "", "content-addressed result cache directory; an identical prior run is served from it without generating")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: atpg [flags] in.bench\n")
 		fs.PrintDefaults()
@@ -115,7 +118,20 @@ func run(path string, cfg runConfig, stdout, stderr io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	res, ctxErr := atpg.RunContext(ctx, c, reps, opt)
+	// With a cache directory, an identical earlier run (same circuit,
+	// fault list and result-affecting options) is decoded from its entry
+	// instead of regenerated; misses run normally and store their result
+	// on success. Cancellation still reports partial results -- CachedRun
+	// deliberately takes no single-flight slot for exactly that reason.
+	var cache *resultcache.Cache
+	if cfg.cacheDir != "" {
+		cache = resultcache.New(resultcache.Config{Dir: cfg.cacheDir})
+		cache.Sweep() // collect torn residue before consulting the store
+	}
+	res, src, ctxErr := atpg.CachedRun(ctx, cache, c, reps, opt)
+	if src != resultcache.SourceNone {
+		fmt.Fprintf(stderr, "atpg: result served from cache (%s); effort counters are the original run's, time is not re-spent\n", src)
+	}
 	if ctxErr != nil {
 		fmt.Fprintf(stderr, "atpg: interrupted (%v); reporting partial results\n", ctxErr)
 		reportPrefix(stderr, res, len(reps))

@@ -169,3 +169,41 @@ func TestRunInterruptedReportsPrefixCoverage(t *testing.T) {
 		t.Fatalf("interrupted run missing prefix coverage report:\n%s", msg)
 	}
 }
+
+// TestRunCacheDir runs the CLI twice against one cache directory: the
+// cold run generates and stores, the warm run is served from the cache
+// with a byte-identical test set on stdout.
+func TestRunCacheDir(t *testing.T) {
+	path := writeBench(t, netlist.Fig2C1())
+	cfg := defaultConfig()
+	cfg.cacheDir = filepath.Join(t.TempDir(), "cache")
+
+	var cold, coldErr bytes.Buffer
+	if err := run(path, cfg, &cold, &coldErr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(coldErr.String(), "served from cache") {
+		t.Fatalf("cold run claimed a cache hit:\n%s", coldErr.String())
+	}
+	var warm, warmErr bytes.Buffer
+	if err := run(path, cfg, &warm, &warmErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warmErr.String(), "served from cache") {
+		t.Fatalf("warm run did not report the cache hit:\n%s", warmErr.String())
+	}
+	if warm.String() != cold.String() {
+		t.Fatal("cached test set differs from the cold run")
+	}
+
+	// Different options = different key: no false hit.
+	cfg2 := cfg
+	cfg2.backtracks = cfg.backtracks + 1
+	var other, otherErr bytes.Buffer
+	if err := run(path, cfg2, &other, &otherErr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(otherErr.String(), "served from cache") {
+		t.Fatalf("changed options still hit the cache:\n%s", otherErr.String())
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/service"
+)
+
+// TestConditionalGet is the HTTP acceptance criterion: a done job
+// carries a strong ETag derived from its cache key, If-None-Match on
+// it returns 304 with an empty body, and a repeated identical
+// submission shares the same ETag (same content, different job).
+func TestConditionalGet(t *testing.T) {
+	srv := newTestServer(t, service.Config{Workers: 1})
+	req := service.Request{Kind: service.KindATPG, Bench: netlist.BenchString(netlist.Fig5N1())}
+
+	id := postJob(t, srv, req)
+	v := pollJob(t, srv, id)
+	if v.Status != service.StatusDone {
+		t.Fatalf("job: %s (%s)", v.Status, v.Error)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" || etag[0] != '"' {
+		t.Fatalf("done job has no strong ETag (got %q)", etag)
+	}
+	if cs := resp.Header.Get("X-Cache-Status"); cs != "miss" {
+		t.Fatalf("X-Cache-Status = %q, want miss", cs)
+	}
+
+	get := func(inm string) *http.Response {
+		t.Helper()
+		r, err := http.NewRequest("GET", srv.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			r.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := get(etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match with matching ETag: status %d, want 304", resp.StatusCode)
+	} else if b, _ := io.ReadAll(resp.Body); len(b) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(b))
+	}
+	if resp := get(`"stale-etag", ` + etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match list containing the ETag: status %d, want 304", resp.StatusCode)
+	}
+	if resp := get("*"); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match *: status %d, want 304", resp.StatusCode)
+	}
+	if resp := get(`"something-else"`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("If-None-Match mismatch: status %d, want 200", resp.StatusCode)
+	}
+	if resp := get(""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unconditional GET: status %d, want 200", resp.StatusCode)
+	}
+
+	// The identical submission is a different job with the same content:
+	// same ETag, so a client can revalidate either against either.
+	id2 := postJob(t, srv, req)
+	v2 := pollJob(t, srv, id2)
+	if v2.Status != service.StatusDone {
+		t.Fatalf("repeat job: %s (%s)", v2.Status, v2.Error)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/jobs/" + id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Fatalf("repeat submission ETag %q != original %q", got, etag)
+	}
+	if cs := resp2.Header.Get("X-Cache-Status"); cs != "hit" {
+		t.Fatalf("repeat submission X-Cache-Status = %q, want hit", cs)
+	}
+}
+
+// TestNoETagBeforeTerminal: a queued/running job's view is still
+// changing, so it must not carry a validator.
+func TestNoETagWithCacheDisabled(t *testing.T) {
+	srv := newTestServer(t, service.Config{Workers: 1, CacheBytes: -1})
+	req := service.Request{Kind: service.KindATPG, Bench: netlist.BenchString(netlist.Fig5N1())}
+	id := postJob(t, srv, req)
+	pollJob(t, srv, id)
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		t.Fatalf("cache-disabled job carries ETag %q", etag)
+	}
+}
+
+// TestListSubmissionOrderHTTP pins the listing endpoint to submission
+// order through the full HTTP path.
+func TestListSubmissionOrderHTTP(t *testing.T) {
+	srv := newTestServer(t, service.Config{Workers: 1})
+	bench := netlist.BenchString(netlist.Fig2C1())
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, postJob(t, srv, service.Request{Kind: service.KindRetime, Bench: bench}))
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []service.View
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != len(ids) {
+		t.Fatalf("listed %d jobs, want %d", len(views), len(ids))
+	}
+	for i, v := range views {
+		if v.ID != ids[i] {
+			t.Fatalf("position %d: got %s, want %s (submission order)", i, v.ID, ids[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"repro/internal/service"
 )
@@ -61,6 +62,22 @@ func newHandler(svc *service.Service) http.Handler {
 			writeError(w, http.StatusNotFound, err.Error())
 			return
 		}
+		// A done job with a cache key is immutable content named by that
+		// key, so the key doubles as a strong ETag: pollers revalidate
+		// with If-None-Match and pay one 304 instead of re-downloading
+		// the result payload. Non-terminal (still-changing) and
+		// journal-recovered (keyless) views stay unconditional.
+		if v.Status == service.StatusDone && v.CacheKey != "" {
+			etag := `"` + v.CacheKey + `"`
+			w.Header().Set("ETag", etag)
+			if v.Cache != "" {
+				w.Header().Set("X-Cache-Status", v.Cache)
+			}
+			if etagMatch(r.Header.Get("If-None-Match"), etag) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -74,6 +91,27 @@ func newHandler(svc *service.Service) http.Handler {
 		svc.Metrics().WriteJSON(w)
 	})
 	return mux
+}
+
+// etagMatch implements If-None-Match for a strong ETag: "*" matches
+// anything, otherwise any member of the comma-separated candidate list
+// may match. Weak-comparison semantics (RFC 9110 §13.1.2) apply on GET,
+// so a W/ prefix on a candidate is ignored.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -3,7 +3,7 @@
 // Endpoints:
 //
 //	POST   /v1/jobs        submit a job (JSON service.Request); returns {"id": ...}
-//	GET    /v1/jobs        list jobs, newest first
+//	GET    /v1/jobs        list jobs in submission order
 //	GET    /v1/jobs/{id}   poll one job's status and result
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /healthz        liveness probe
@@ -11,6 +11,12 @@
 //
 // Circuits are submitted as ISCAS-89 bench text in the request body;
 // see the README section "Running the service" for curl examples.
+//
+// Identical submissions are answered from a content-addressed result
+// cache (disable with -cache-bytes -1; persist across restarts with
+// -cache-dir). A completed job's GET carries a strong ETag derived
+// from its cache key plus an X-Cache-Status header; polling with
+// If-None-Match returns 304 Not Modified until the payload changes.
 //
 // With -journal, accepted jobs are recorded in an append-only
 // JSON-lines file and survive restarts: on startup the journal is
@@ -45,6 +51,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 60*time.Second, "default per-job timeout")
 	journal := fs.String("journal", "", "job journal path (empty = in-memory only)")
 	syncJournal := fs.Bool("sync-journal", false, "fsync the journal after every entry")
+	cacheBytes := fs.Int64("cache-bytes", 0, "in-memory result cache budget (0 = default 64 MiB, negative = caching off)")
+	cacheDir := fs.String("cache-dir", "", "durable result cache directory (empty = memory-only cache)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 	fs.Usage = func() {
@@ -64,6 +72,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		DefaultTimeout: *timeout,
 		JournalPath:    *journal,
 		SyncJournal:    *syncJournal,
+		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
 	}
 	if err := serve(*addr, cfg, *drain, *maxBody, stdout); err != nil {
 		fmt.Fprintln(stderr, "servd:", err)

@@ -1,0 +1,222 @@
+package resultcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// On-disk entry format, after the ATPG checkpoint pattern: a canonical
+// self-checksummed binary frame that either decodes to exactly what was
+// written or is discarded.
+//
+//	magic   "RESCACHE"                     8 bytes
+//	version uint32 LE                      4 bytes
+//	key     3 x uint64 LE                 24 bytes
+//	len     canonical uvarint
+//	payload len bytes
+//	sum     FNV-1a/64 over everything above, uint64 LE
+//
+// The encoding is canonical -- DecodeEntry accepts exactly the byte
+// strings Entry.Encode produces -- so decode+encode round-trips
+// byte-identically (the FuzzCacheEntryDecode invariant).
+
+// EntryVersion is the on-disk entry format version this build reads
+// and writes.
+const EntryVersion = 1
+
+// entryMagic leads every encoded cache entry.
+const entryMagic = "RESCACHE"
+
+// entryExt is the entry file suffix in a store directory.
+const entryExt = ".rce"
+
+// Entry decode errors. Decode failures wrap ErrEntryCorrupt, except a
+// valid frame carrying an unknown version, which wraps ErrEntryVersion.
+var (
+	ErrEntryCorrupt = errors.New("resultcache: corrupt or truncated cache entry")
+	ErrEntryVersion = errors.New("resultcache: unsupported cache entry version")
+)
+
+// Entry is one decoded on-disk cache record: the key it answers and the
+// opaque result payload.
+type Entry struct {
+	Key     Key
+	Payload []byte
+}
+
+// Encode serializes the entry into its canonical checksummed form.
+func (e *Entry) Encode() []byte {
+	buf := make([]byte, 0, 64+len(e.Payload))
+	buf = append(buf, entryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, EntryVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Key.Circuit)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Key.Faults)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Key.Options)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	sum := uint64(newFNV().bytes(buf))
+	return binary.LittleEndian.AppendUint64(buf, sum)
+}
+
+// DecodeEntry parses an encoded entry. It never panics on arbitrary
+// input: every failure mode (bad magic, checksum mismatch, truncation,
+// non-canonical varint, length mismatch, trailing bytes) returns an
+// error wrapping ErrEntryCorrupt, except a valid frame with an unknown
+// version, which wraps ErrEntryVersion.
+func DecodeEntry(data []byte) (*Entry, error) {
+	headerLen := len(entryMagic) + 4 + 3*8
+	if len(data) < headerLen+1+8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrEntryCorrupt, len(data))
+	}
+	if string(data[:len(entryMagic)]) != entryMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrEntryCorrupt)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if uint64(newFNV().bytes(body)) != binary.LittleEndian.Uint64(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrEntryCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(entryMagic):]); v != EntryVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d",
+			ErrEntryVersion, v, EntryVersion)
+	}
+	e := &Entry{}
+	pos := len(entryMagic) + 4
+	e.Key.Circuit = binary.LittleEndian.Uint64(body[pos:])
+	e.Key.Faults = binary.LittleEndian.Uint64(body[pos+8:])
+	e.Key.Options = binary.LittleEndian.Uint64(body[pos+16:])
+	pos += 24
+	n, vn := binary.Uvarint(body[pos:])
+	if vn <= 0 || vn != uvarintLen(n) {
+		return nil, fmt.Errorf("%w: non-canonical payload length", ErrEntryCorrupt)
+	}
+	pos += vn
+	if uint64(len(body)-pos) != n {
+		return nil, fmt.Errorf("%w: payload length %d, %d bytes remain",
+			ErrEntryCorrupt, n, len(body)-pos)
+	}
+	e.Payload = body[pos:]
+	return e, nil
+}
+
+// uvarintLen is the minimal encoded length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// diskStore is the durable tier: one entry file per key under dir,
+// written atomically and validated (or discarded) on every load.
+type diskStore struct {
+	dir string
+	reg *metrics.Registry
+}
+
+// path names the entry file for a key.
+func (d *diskStore) path(k Key) string {
+	return filepath.Join(d.dir, k.String()+entryExt)
+}
+
+// load reads and validates the key's entry file. Anything unusable --
+// torn, corrupt, version-skewed, or carrying a different key (a renamed
+// file) -- is deleted along with .tmp residue so it can never be
+// consulted again, and counts as cache.disk_discarded.
+func (d *diskStore) load(k Key) ([]byte, bool) {
+	path := d.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	e, err := DecodeEntry(data)
+	if err != nil || e.Key != k {
+		d.discard(k)
+		return nil, false
+	}
+	return e.Payload, true
+}
+
+// save atomically persists the entry: encode, write to path+".tmp",
+// fsync, rename over path, best-effort directory fsync. A crash
+// mid-write leaves at worst a stale .tmp that the recovery sweep
+// removes.
+func (d *diskStore) save(k Key, payload []byte) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	data := (&Entry{Key: k, Payload: payload}).Encode()
+	path := d.path(k)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(d.dir); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// discard deletes the key's entry file and any torn-write residue.
+func (d *diskStore) discard(k Key) {
+	path := d.path(k)
+	os.Remove(path)
+	os.Remove(path + ".tmp")
+	d.reg.Counter("cache.disk_discarded").Inc()
+}
+
+// sweep removes crash residue from the store directory: *.rce.tmp
+// torn writes, files whose name is not a well-formed key, and entries
+// that fail to decode or whose embedded key disagrees with their name.
+// Valid entries are left in place (they are exactly what restarts warm
+// up from). Returns the number of files removed.
+func (d *diskStore) sweep() int {
+	removed := 0
+	tmps, _ := filepath.Glob(filepath.Join(d.dir, "*"+entryExt+".tmp"))
+	for _, p := range tmps {
+		if os.Remove(p) == nil {
+			removed++
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(d.dir, "*"+entryExt))
+	for _, p := range files {
+		name := filepath.Base(p)
+		k, ok := ParseKey(name[:len(name)-len(entryExt)])
+		if ok {
+			if data, err := os.ReadFile(p); err == nil {
+				if e, err := DecodeEntry(data); err == nil && e.Key == k {
+					continue
+				}
+			}
+		}
+		if os.Remove(p) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		d.reg.Counter("cache.disk_discarded").Add(int64(removed))
+	}
+	return removed
+}

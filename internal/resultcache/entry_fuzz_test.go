@@ -1,0 +1,57 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCacheEntryDecode hardens the on-disk cache-entry decoder against
+// crash residue the same way FuzzCheckpointRestore covers checkpoints:
+// arbitrary bytes (torn writes, disk rot, version skew, renamed files)
+// must decode to a clean sentinel error or to an entry whose
+// re-encoding is byte-identical to the input -- the canonicality
+// invariant the load-or-discard path and the recovery sweep rely on.
+func FuzzCacheEntryDecode(f *testing.F) {
+	// Real encodings at several payload shapes, plus classic residue.
+	seeds := []*Entry{
+		{},
+		{Key: Key{1, 2, 3}, Payload: []byte("{}")},
+		{Key: Key{^uint64(0), 0, 0x0123456789abcdef}, Payload: bytes.Repeat([]byte("v"), 300)},
+	}
+	for _, e := range seeds {
+		enc := e.Encode()
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2]) // truncation
+		f.Add(append(enc, 0))   // trailing garbage
+		mut := append([]byte(nil), enc...)
+		mut[len(mut)/3] ^= 0x40 // bit rot
+		f.Add(mut)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(entryMagic))
+	// Pinned regressions: huge declared payload length, non-canonical
+	// varint padding, version skew in an otherwise valid frame.
+	f.Add([]byte("RESCACHE\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add(append([]byte("RESCACHE\x01\x00\x00\x00"), bytes.Repeat([]byte{0x80}, 64)...))
+	skew := (&Entry{Key: Key{7, 8, 9}, Payload: []byte("x")}).Encode()
+	skew[len(entryMagic)] = 99 // version byte; checksum now fails first, still a clean error
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEntry(data)
+		if err != nil {
+			if !errors.Is(err, ErrEntryCorrupt) && !errors.Is(err, ErrEntryVersion) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		enc := e.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input does not round-trip:\n in:  %x\n out: %x", data, enc)
+		}
+		if e2, err := DecodeEntry(enc); err != nil || e2.Key != e.Key || !bytes.Equal(e2.Payload, e.Payload) {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+	})
+}

@@ -36,9 +36,11 @@ func (s *Service) stage(ctx context.Context, name string, f func() error) error 
 
 // execute runs the request's pipeline, one instrumented stage at a
 // time. Every stage is a plain library call with deterministic options,
-// so the result matches the equivalent direct call exactly. The job ID
-// names the durable checkpoint file ATPG-bearing kinds resume from
-// after a crash.
+// so the result matches the equivalent direct call exactly -- which is
+// also why the result cache sits here: after the parse stage the
+// request's identity is known, and executeCached answers repeats from
+// the first run's payload. The job ID names the durable checkpoint
+// file ATPG-bearing kinds resume from after a crash.
 func (s *Service) execute(ctx context.Context, id string, req *Request) (*Result, error) {
 	var c *netlist.Circuit
 	if err := s.stage(ctx, "parse", func() error {
@@ -48,6 +50,11 @@ func (s *Service) execute(ctx context.Context, id string, req *Request) (*Result
 	}); err != nil {
 		return nil, err
 	}
+	return s.executeCached(ctx, id, req, c)
+}
+
+// dispatch runs the kind-specific pipeline directly, no cache consulted.
+func (s *Service) dispatch(ctx context.Context, id string, req *Request, c *netlist.Circuit) (*Result, error) {
 	switch req.Kind {
 	case KindRetime:
 		return s.execRetime(ctx, req, c)

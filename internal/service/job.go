@@ -244,6 +244,13 @@ type Job struct {
 	// attempt counts how many times the job has been started; recovered
 	// jobs resume past their journaled attempts.
 	attempt int
+	// cacheKey and cacheSrc record the request's content-addressed
+	// result-cache identity and how the result was obtained ("miss",
+	// "hit", "hit-disk", "shared"); empty on jobs that never reached the
+	// cache layer (caching off, parse failure, or replayed from the
+	// journal, which does not persist them).
+	cacheKey string
+	cacheSrc string
 	// cancelRequested marks the job for cancellation; cancel is the
 	// running attempt's context cancel func, set for the duration of the
 	// run so Cancel can interrupt it mid-stage.
@@ -267,6 +274,13 @@ type View struct {
 	RunMS   int64 `json:"run_ms,omitempty"`
 	// Attempt counts starts; >1 marks a job re-run after crash recovery.
 	Attempt int `json:"attempt,omitempty"`
+	// CacheKey is the request's content-addressed result-cache identity
+	// (the HTTP layer derives the strong ETag from it); Cache reports how
+	// the result was obtained: "miss" (computed here), "hit"/"hit-disk"
+	// (served from a previous run's payload), or "shared" (rode a
+	// concurrent identical submission's single flight).
+	CacheKey string `json:"cache_key,omitempty"`
+	Cache    string `json:"cache,omitempty"`
 }
 
 // View snapshots the job.
@@ -274,13 +288,15 @@ func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID:      j.id,
-		Kind:    j.req.Kind,
-		Status:  j.status,
-		Error:   j.err,
-		Result:  j.result,
-		Created: j.created,
-		Attempt: j.attempt,
+		ID:       j.id,
+		Kind:     j.req.Kind,
+		Status:   j.status,
+		Error:    j.err,
+		Result:   j.result,
+		Created:  j.created,
+		Attempt:  j.attempt,
+		CacheKey: j.cacheKey,
+		Cache:    j.cacheSrc,
 	}
 	if !j.started.IsZero() {
 		t := j.started

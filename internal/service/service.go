@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/failpoint"
 	"repro/internal/metrics"
+	"repro/internal/resultcache"
 )
 
 // Config tunes a Service. Zero values pick sensible defaults.
@@ -71,6 +73,21 @@ type Config struct {
 	// result either way). Default 64; checkpoints are disabled when the
 	// service runs without a journal.
 	CheckpointEvery int
+
+	// CacheBytes bounds the in-memory tier of the content-addressed
+	// result cache: identical submissions (same circuit, fault list and
+	// result-affecting options) are answered from the first run's stored
+	// payload, and concurrent identical submissions run the pipeline
+	// once (single-flight). 0 selects resultcache.DefaultMaxBytes;
+	// negative disables caching entirely (the pre-cache behavior: every
+	// job recomputes).
+	CacheBytes int64
+	// CacheDir enables the cache's durable tier: one validated,
+	// checksummed entry file per key, written atomically beside wherever
+	// the caller points it (conventionally next to the job journal).
+	// Open sweeps torn residue from it. Empty keeps the cache
+	// memory-only.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +140,7 @@ type Service struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 	jrnl  *journal
+	cache *resultcache.Cache
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -160,6 +178,19 @@ func Open(cfg Config) (*Service, error) {
 		jobs:   make(map[string]*Job),
 		timers: make(map[string]*time.Timer),
 		done:   make(chan struct{}),
+	}
+
+	if cfg.CacheBytes >= 0 {
+		s.cache = resultcache.New(resultcache.Config{
+			MaxBytes: cfg.CacheBytes,
+			Dir:      cfg.CacheDir,
+			Metrics:  s.reg,
+		})
+		// Recovery for the durable tier: collect torn .tmp residue and
+		// entries that no longer validate before anything consults them.
+		if cfg.CacheDir != "" {
+			s.cache.Sweep()
+		}
 	}
 
 	var requeue []*Job
@@ -435,7 +466,10 @@ func (s *Service) Cancel(id string) (View, error) {
 	return j.View(), nil
 }
 
-// List snapshots every job, newest first.
+// List snapshots every job in submission order (ascending numeric job
+// ID, the order Submit assigned them). The sort is numeric, not
+// lexicographic: "job-%06d" IDs overflow their zero padding past
+// 999999, where string order would interleave old and new jobs.
 func (s *Service) List() []View {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
@@ -447,13 +481,13 @@ func (s *Service) List() []View {
 	for i, j := range jobs {
 		views[i] = j.View()
 	}
-	for i := 0; i < len(views); i++ {
-		for k := i + 1; k < len(views); k++ {
-			if views[k].ID > views[i].ID {
-				views[i], views[k] = views[k], views[i]
-			}
+	sort.Slice(views, func(i, k int) bool {
+		ni, nk := jobIDNumber(views[i].ID), jobIDNumber(views[k].ID)
+		if ni != nk {
+			return ni < nk
 		}
-	}
+		return views[i].ID < views[k].ID
+	})
 	return views
 }
 

@@ -345,21 +345,37 @@ func TestMetricsRecorded(t *testing.T) {
 	}
 }
 
-func TestListNewestFirst(t *testing.T) {
+// TestListSubmissionOrder pins List to deterministic submission order
+// (ascending numeric job ID), including across the ID zero-padding
+// boundary where "job-1000000" sorts lexicographically *before*
+// "job-999999" and a string sort (or raw map iteration) would
+// interleave old and new jobs.
+func TestListSubmissionOrder(t *testing.T) {
 	s := newTestService(t, Config{Workers: 1})
 	bench := netlist.BenchString(netlist.Fig2C1())
+	s.mu.Lock()
+	s.nextID = 999998 // next submissions span the 6-digit padding edge
+	s.mu.Unlock()
+	var ids []string
 	for i := 0; i < 3; i++ {
-		if _, err := s.Submit(Request{Kind: KindRetime, Bench: bench}); err != nil {
+		id, err := s.Submit(Request{Kind: KindRetime, Bench: bench})
+		if err != nil {
 			t.Fatal(err)
 		}
+		ids = append(ids, id)
+	}
+	// The fixture only bites if string order actually disagrees with
+	// submission order here.
+	if ids[0] < ids[2] {
+		t.Fatalf("ids %v do not cross the lexicographic boundary", ids)
 	}
 	views := s.List()
 	if len(views) != 3 {
 		t.Fatalf("listed %d jobs", len(views))
 	}
-	for i := 1; i < len(views); i++ {
-		if views[i].ID > views[i-1].ID {
-			t.Fatal("list not newest first")
+	for i, v := range views {
+		if v.ID != ids[i] {
+			t.Fatalf("position %d: got %s, want submission order %v", i, v.ID, ids)
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/fsmgen"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/resultcache"
 	"repro/internal/retime"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -74,6 +75,21 @@ type (
 	// ATPGCheckpointConfig wires periodic checkpoint writes (and a
 	// resume source) into ATPGOptions.Checkpoint.
 	ATPGCheckpointConfig = atpg.CheckpointConfig
+	// ResultCache is a content-addressed store of finished results,
+	// keyed by the same (circuit, fault list, options) identity hashes
+	// that bind checkpoints: a sharded in-memory LRU, an optional
+	// durable tier of checksummed entry files, and single-flight dedup
+	// of concurrent identical computations.
+	ResultCache = resultcache.Cache
+	// ResultCacheConfig tunes a ResultCache (memory budget, shard
+	// count, durable directory, metrics registry).
+	ResultCacheConfig = resultcache.Config
+	// ResultCacheKey names one cached result.
+	ResultCacheKey = resultcache.Key
+	// CacheSource reports where a cached answer came from: "miss",
+	// "hit" (memory), "hit-disk", or "shared" (a concurrent identical
+	// computation's single flight).
+	CacheSource = resultcache.Source
 	// Fig6Result is the outcome of the retime-for-testability flow.
 	Fig6Result = core.Fig6Result
 	// PrefixFill selects how arbitrary prefix vectors are filled.
@@ -187,6 +203,30 @@ func ATPGWithCheckpoint(ctx context.Context, c *Circuit, faults []Fault, opt ATP
 	opt.Checkpoint.Every = every
 	atpg.TryResume(&opt, c, faults)
 	return atpg.RunContext(ctx, c, faults, opt)
+}
+
+// NewResultCache creates a content-addressed result cache. The zero
+// config is usable (64 MiB in-memory budget, no durable tier); set
+// Dir for persistence across processes, in which case Sweep() at
+// startup collects crash residue.
+func NewResultCache(cfg ResultCacheConfig) *ResultCache { return resultcache.New(cfg) }
+
+// ATPGCacheKey returns the content-addressed identity of an ATPG run:
+// equal keys guarantee byte-identical results. Worker count and
+// checkpoint configuration do not contribute (both are
+// result-neutral).
+func ATPGCacheKey(c *Circuit, faults []Fault, opt ATPGOptions) ResultCacheKey {
+	return atpg.CacheKey(c, faults, opt)
+}
+
+// ATPGCached is ATPGContext behind a result cache: an identical prior
+// run is decoded from its stored payload (source "hit" or "hit-disk",
+// with Effort.Time zero and Parallel nil -- no generation happened), a
+// miss runs the generator and stores the result. A nil cache degrades
+// to a plain run. Cancellation still returns partial results with
+// ctx's error; partial results are never cached.
+func ATPGCached(ctx context.Context, cache *ResultCache, c *Circuit, faults []Fault, opt ATPGOptions) (*ATPGResult, CacheSource, error) {
+	return atpg.CachedRun(ctx, cache, c, faults, opt)
 }
 
 // FaultSimulate fault-simulates a test sequence from the all-X initial

@@ -159,3 +159,50 @@ func TestFacadeATPGWithCheckpoint(t *testing.T) {
 		t.Fatal("resumed fault statuses differ from the original run")
 	}
 }
+
+// TestFacadeATPGCached exercises the result-cache entry points: a cold
+// run computes and stores, the warm run is served from the cache with
+// identical tests and statuses, and the key is stable and worker-count
+// independent.
+func TestFacadeATPGCached(t *testing.T) {
+	c, err := ParseBench("toy", strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultATPGOptions()
+	faults := CollapsedFaults(c)
+	cache := NewResultCache(ResultCacheConfig{Dir: filepath.Join(t.TempDir(), "cache")})
+
+	cold, src, err := ATPGCached(context.Background(), cache, c, faults, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.String() != "miss" {
+		t.Fatalf("cold run source %v, want miss", src)
+	}
+	warm, src, err := ATPGCached(context.Background(), cache, c, faults, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.String() != "hit" {
+		t.Fatalf("warm run source %v, want hit", src)
+	}
+	if !reflect.DeepEqual(warm.TestSet, cold.TestSet) {
+		t.Fatal("cached test set differs from the cold run")
+	}
+	if !reflect.DeepEqual(warm.Status, cold.Status) {
+		t.Fatal("cached fault statuses differ from the cold run")
+	}
+
+	key := ATPGCacheKey(c, faults, opt)
+	workers := opt
+	workers.Workers = 8
+	if ATPGCacheKey(c, faults, workers) != key {
+		t.Fatal("worker count moved the cache key (it is result-neutral)")
+	}
+	seeded := opt
+	seeded.RandomSeed++
+	if ATPGCacheKey(c, faults, seeded) == key {
+		t.Fatal("seed change did not move the cache key")
+	}
+}

@@ -19,7 +19,14 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race (concurrency-heavy packages, fail fast)"
-go test -race -count=1 ./internal/fsim/... ./internal/service/... ./internal/failpoint/... ./cmd/servd/...
+go test -race -count=1 ./internal/fsim/... ./internal/service/... ./internal/failpoint/... ./cmd/servd/... ./internal/resultcache/...
+
+echo "== go test -race (result cache: hit/miss byte-identity, corrupt-entry discard, single-flight)"
+# The cache round-trip gate: a repeat submission is served byte-identical
+# from memory and from disk, a corrupted entry file is discarded (never
+# served), and N concurrent identical submissions run ATPG exactly once.
+go test -race -count=1 -run 'TestCachedRun|TestCacheServesRepeatedSubmission|TestCacheDiskTierSurvivesRestart|TestCorruptEntryDiscardedOnLoad|TestConcurrentIdenticalSubmissionsRunOnce|TestCacheHammer' \
+    ./internal/resultcache/ ./internal/atpg/ ./internal/service/
 
 echo "== go test -race -short (fault-sharded ATPG determinism + Theorem 1-4 metamorphic suite)"
 # -short keeps the gate fast: 12 theorem pairs and the 5-repeat
@@ -44,5 +51,8 @@ go test -run='^$' -fuzz=FuzzParseBench -fuzztime=5s ./internal/netlist/
 
 echo "== fuzz smoke (checkpoint decoder: arbitrary bytes -> clean error or canonical round-trip)"
 go test -run='^$' -fuzz=FuzzCheckpointRestore -fuzztime=5s ./internal/atpg/
+
+echo "== fuzz smoke (cache entry decoder: arbitrary bytes -> typed error or canonical round-trip)"
+go test -run='^$' -fuzz=FuzzCacheEntryDecode -fuzztime=5s ./internal/resultcache/
 
 echo "check.sh: all green"
