@@ -16,6 +16,8 @@ func TestCLIMainErrorPaths(t *testing.T) {
 		{"unknown flag", []string{"-bogus"}, 2},
 		{"no operands", nil, 2},
 		{"too many operands", []string{"a.bench", "b.bench"}, 2},
+		{"repeat zero", []string{"-repeat", "0", "a.bench"}, 2},
+		{"repeat negative", []string{"-repeat", "-3", "a.bench"}, 2},
 		{"missing input file", []string{missing}, 1},
 		{"missing tests file", []string{"-tests", missing, missing}, 1},
 	}

@@ -13,6 +13,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/fsim"
@@ -29,15 +30,21 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	tests := fs.String("tests", "", "test set file (default: stdin)")
 	list := fs.Bool("undetected", false, "list undetected faults")
+	repeat := fs.Int("repeat", 1, "apply the test set n times through one reused simulator (soak/profiling mode)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); partial coverage is still reported")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: faultsim [-tests vectors.txt] [-undetected] in.bench\n")
+		fmt.Fprintf(stderr, "usage: faultsim [-tests vectors.txt] [-undetected] [-repeat n] in.bench\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	if *repeat < 1 {
+		fmt.Fprintln(stderr, "faultsim: -repeat must be >= 1")
 		fs.Usage()
 		return 2
 	}
@@ -51,14 +58,14 @@ func cliMain(args []string, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, fs.Arg(0), *tests, *list, os.Stdout, stderr); err != nil {
+	if err := run(ctx, fs.Arg(0), *tests, *list, *repeat, os.Stdout, stderr); err != nil {
 		fmt.Fprintln(stderr, "faultsim:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(ctx context.Context, path, testsPath string, listUndet bool, stdout, stderr io.Writer) error {
+func run(ctx context.Context, path, testsPath string, listUndet bool, repeat int, stdout, stderr io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -97,15 +104,38 @@ func run(ctx context.Context, path, testsPath string, listUndet bool, stdout, st
 	reps, _ := fault.Collapse(c)
 	// The incremental simulator tracks how many cycles it actually ran,
 	// so an interrupted run can report the prefix it processed before
-	// flushing the partial coverage report below.
+	// flushing the partial coverage report below. With -repeat the one
+	// Simulator is rearmed between applications instead of being
+	// rebuilt, so every repetition after the first runs out of warmed
+	// arenas (the steady-state the alloc gate pins).
 	s := fsim.NewSimulator(c, reps)
-	_, ctxErr := s.SimulateContext(ctx, seq)
+	var ctxErr error
+	start := time.Now()
+	done := 0
+	for rep := 0; rep < repeat; rep++ {
+		if rep > 0 {
+			s.Rearm()
+		}
+		if _, ctxErr = s.SimulateContext(ctx, seq); ctxErr != nil {
+			break
+		}
+		done++
+	}
+	elapsed := time.Since(start)
 	if ctxErr != nil {
 		fmt.Fprintf(stderr, "faultsim: interrupted (%v); processed %d/%d vectors; reporting prefix coverage\n",
 			ctxErr, s.Cycles(), len(seq))
 	}
 	res := s.Result()
 	fmt.Fprintf(stdout, "%s: %d collapsed faults, %d vectors\n", c.Name, len(reps), len(seq))
+	if repeat > 1 {
+		perRep := time.Duration(0)
+		if done > 0 {
+			perRep = elapsed / time.Duration(done)
+		}
+		fmt.Fprintf(stdout, "repeat: %d/%d applications through one simulator, %v total, %v per application\n",
+			done, repeat, elapsed.Round(time.Microsecond), perRep.Round(time.Microsecond))
+	}
 	fmt.Fprintf(stdout, "detected %d, undetected %d, coverage %.2f%%\n",
 		res.Detected(), len(reps)-res.Detected(), res.Coverage())
 	if listUndet {

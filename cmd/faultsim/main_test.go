@@ -44,7 +44,7 @@ func TestRunFaultSim(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			bench, tests := writeInputs(t, "# two vectors\n11\n00\n")
 			var out, errw bytes.Buffer
-			if err := run(c.ctx, bench, tests, true, &out, &errw); err != nil {
+			if err := run(c.ctx, bench, tests, true, 1, &out, &errw); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(out.String(), "coverage") {
@@ -65,7 +65,40 @@ func TestRunFaultSim(t *testing.T) {
 
 func TestRunRejectsWidthMismatch(t *testing.T) {
 	bench, tests := writeInputs(t, "101\n")
-	if err := run(context.Background(), bench, tests, false, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), bench, tests, false, 1, io.Discard, io.Discard); err == nil {
 		t.Fatal("width mismatch accepted")
+	}
+}
+
+// TestRunRepeat checks the soak mode: -repeat n applies the test set n
+// times through one rearmed Simulator, reports the per-application
+// timing line, and lands on the same coverage as a single application
+// (rearming resets detection state, so coverage must not accumulate
+// differently).
+func TestRunRepeat(t *testing.T) {
+	bench, tests := writeInputs(t, "11\n00\n10\n01\n")
+	var once, thrice bytes.Buffer
+	if err := run(context.Background(), bench, tests, false, 1, &once, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), bench, tests, false, 3, &thrice, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(once.String(), "repeat:") {
+		t.Fatalf("-repeat 1 printed the repeat summary:\n%s", once.String())
+	}
+	if !strings.Contains(thrice.String(), "repeat: 3/3 applications through one simulator") {
+		t.Fatalf("-repeat 3 missing repeat summary:\n%s", thrice.String())
+	}
+	covLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "coverage") {
+				return line
+			}
+		}
+		return ""
+	}
+	if got, want := covLine(thrice.String()), covLine(once.String()); got != want || got == "" {
+		t.Fatalf("repeat coverage %q, single-run coverage %q", got, want)
 	}
 }

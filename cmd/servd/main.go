@@ -55,8 +55,9 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "durable result cache directory (empty = memory-only cache)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); keep it loopback-only")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d] [-journal file] [-drain d]\n")
+		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d] [-journal file] [-drain d] [-pprof-addr :6060]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,17 +76,34 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		CacheBytes:     *cacheBytes,
 		CacheDir:       *cacheDir,
 	}
-	if err := serve(*addr, cfg, *drain, *maxBody, stdout); err != nil {
+	if err := serve(*addr, cfg, *drain, *maxBody, *pprofAddr, stdout); err != nil {
 		fmt.Fprintln(stderr, "servd:", err)
 		return 1
 	}
 	return 0
 }
 
-func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, stdout io.Writer) error {
+func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, pprofAddr string, stdout io.Writer) error {
 	svc, err := service.Open(cfg)
 	if err != nil {
 		return err
+	}
+
+	// The profiler gets its own listener and mux so enabling it never
+	// exposes /debug/pprof/* on the public API address; the goroutine
+	// dies with the process, so no drain bookkeeping is needed.
+	if pprofAddr != "" {
+		psrv := &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(stdout, "servd: pprof listener:", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "servd pprof on %s\n", pprofAddr)
 	}
 
 	srv := &http.Server{

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofMux builds the profiler handler on a private mux. The stdlib's
+// net/http/pprof import side-effect registers on DefaultServeMux, which
+// servd never serves; registering the handlers explicitly keeps the
+// profiling surface bound to the -pprof-addr listener only.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

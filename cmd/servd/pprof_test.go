@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPprofMux checks the profiler mux serves the standard endpoints:
+// the index lists the profiles, and a heap profile download succeeds.
+// Serving it from its own mux (not DefaultServeMux) is what keeps the
+// debug surface off the public API listener.
+func TestPprofMux(t *testing.T) {
+	srv := httptest.NewServer(pprofMux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "heap") {
+		t.Fatalf("index does not list the heap profile:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "heap profile") {
+		t.Fatalf("heap endpoint returned no profile:\n%.200s", body)
+	}
+}

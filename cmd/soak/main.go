@@ -1,0 +1,210 @@
+// Command soak load-tests the job service in-process: concurrent
+// submitters push a deterministic mix of retime / atpg / fault_sim /
+// derive_tests jobs through one service.Service for a wall-clock
+// budget, then report throughput, end-to-end latency percentiles, an
+// allocation summary from runtime.MemStats, and the full metrics
+// registry as JSON.
+//
+// The result cache is disabled so every job pays its real compute
+// cost, and job latencies are also folded into the shared
+// internal/metrics registry (soak_job_latency) next to the service's
+// own stage histograms -- the same registry servd exposes at /metrics.
+//
+// Typical use, paired with servd's -pprof-addr, is to run soak under
+// the profiler to check the fault-simulation path stays allocation-free
+// in steady state:
+//
+//	go run ./cmd/soak -duration 30s -submitters 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/service"
+)
+
+func main() { os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	duration := fs.Duration("duration", 5*time.Second, "wall-clock submission window")
+	submitters := fs.Int("submitters", 4, "concurrent submitter goroutines")
+	workers := fs.Int("workers", 0, "service worker pool size (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	dumpMetrics := fs.Bool("metrics", false, "dump the metrics registry as JSON after the summary")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: soak [-duration 5s] [-submitters n] [-workers n] [-seed n] [-metrics]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	if *duration <= 0 || *submitters < 1 {
+		fmt.Fprintln(stderr, "soak: -duration must be positive and -submitters >= 1")
+		fs.Usage()
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *duration, *submitters, *workers, *seed, *dumpMetrics, stdout); err != nil {
+		fmt.Fprintln(stderr, "soak:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildMix pregenerates the request pool: a few random sequential
+// circuits, each submitted under every job kind. fault_sim tests are
+// random but deterministic, so two soak runs with the same seed submit
+// byte-identical work.
+func buildMix(seed int64) []service.Request {
+	rng := rand.New(rand.NewSource(seed))
+	// Unbounded ATPG on even a mid-size random circuit can run for tens
+	// of seconds; the soak wants many short jobs, not one long one, so
+	// the generator effort is capped. Coverage does not matter here --
+	// only that every service stage (parse, collapse, simulate, grade)
+	// runs under load.
+	spec := &service.ATPGSpec{MaxFrames: 8, MaxBacktracks: 100, MaxEvalsPerFault: 20000}
+	var mix []service.Request
+	for i := 0; i < 4; i++ {
+		c := netlist.Random(rng, netlist.RandomParams{
+			Inputs:   4 + rng.Intn(3),
+			Outputs:  3 + rng.Intn(3),
+			Gates:    24 + rng.Intn(40),
+			DFFs:     3 + rng.Intn(5),
+			MaxFanin: 4,
+		})
+		bench := netlist.BenchString(c)
+		var vecs []string
+		for v := 0; v < 16; v++ {
+			bits := make([]byte, len(c.Inputs))
+			for b := range bits {
+				bits[b] = "01"[rng.Intn(2)]
+			}
+			vecs = append(vecs, string(bits))
+		}
+		mix = append(mix,
+			service.Request{Kind: service.KindRetime, Bench: bench},
+			service.Request{Kind: service.KindATPG, Bench: bench, ATPG: spec},
+			service.Request{Kind: service.KindFaultSim, Bench: bench, Tests: strings.Join(vecs, ",")},
+			service.Request{Kind: service.KindDeriveTests, Bench: bench, ATPG: spec},
+		)
+	}
+	return mix
+}
+
+func run(ctx context.Context, duration time.Duration, submitters, workers int, seed int64, dumpMetrics bool, stdout io.Writer) error {
+	reg := metrics.NewRegistry()
+	svc, err := service.Open(service.Config{
+		Workers:        workers,
+		QueueDepth:     4 * submitters,
+		DefaultTimeout: 60 * time.Second,
+		Metrics:        reg,
+		CacheBytes:     -1, // every job must pay its real compute cost
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	mix := buildMix(seed)
+	latHist := reg.Histogram("soak_job_latency")
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		done      int
+		failed    int
+		byKind    = map[service.Kind]int{}
+	)
+	var memBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
+
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
+				req := mix[i%len(mix)]
+				t0 := time.Now()
+				id, err := svc.Submit(req)
+				if err != nil {
+					// Queue full: the workers are saturated, which is the
+					// point of a soak; back off briefly and retry.
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				view, err := svc.Wait(ctx, id)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || view.Status != service.StatusDone {
+					failed++
+				} else {
+					done++
+					latencies = append(latencies, lat)
+					byKind[req.Kind]++
+				}
+				mu.Unlock()
+				latHist.Observe(lat)
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	if done == 0 {
+		return fmt.Errorf("no job completed in %v (%d failed)", duration, failed)
+	}
+	slices.Sort(latencies)
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(latencies))+0.5) - 1
+		return latencies[max(0, min(i, len(latencies)-1))]
+	}
+	allocBytes := memAfter.TotalAlloc - memBefore.TotalAlloc
+	allocObjs := memAfter.Mallocs - memBefore.Mallocs
+
+	fmt.Fprintf(stdout, "soak: %d jobs done, %d failed in %v (%.1f jobs/s, %d submitters, %d workers)\n",
+		done, failed, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), submitters, runtime.GOMAXPROCS(0))
+	for _, k := range service.Kinds() {
+		fmt.Fprintf(stdout, "  %-12s %d\n", k, byKind[k])
+	}
+	fmt.Fprintf(stdout, "latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Fprintf(stdout, "allocs: %.1f MiB total, %d objects, %.1f KiB/job, %d GC cycles\n",
+		float64(allocBytes)/(1<<20), allocObjs,
+		float64(allocBytes)/1024/float64(done+failed), memAfter.NumGC-memBefore.NumGC)
+	if dumpMetrics {
+		if err := reg.WriteJSON(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}

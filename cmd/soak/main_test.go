@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestCLIMainErrorPaths pins the usage-error exit code.
+func TestCLIMainErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"stray operand", []string{"extra"}},
+		{"zero duration", []string{"-duration", "0s"}},
+		{"negative duration", []string{"-duration", "-1s"}},
+		{"zero submitters", []string{"-submitters", "0"}},
+	}
+	for _, c := range cases {
+		var out, errw bytes.Buffer
+		if got := cliMain(c.args, &out, &errw); got != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", c.name, got, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: nothing on stderr", c.name)
+		}
+	}
+}
+
+// TestBuildMixDeterministic checks two runs with one seed submit
+// byte-identical work (so a soak regression reproduces), and that the
+// mix covers every job kind with valid requests.
+func TestBuildMixDeterministic(t *testing.T) {
+	a, b := buildMix(7), buildMix(7)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("mix sizes %d vs %d", len(a), len(b))
+	}
+	seen := map[service.Kind]bool{}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("request %d differs between runs", i)
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		seen[a[i].Kind] = true
+	}
+	if len(seen) != len(service.Kinds()) {
+		t.Fatalf("mix covers %d kinds, want %d", len(seen), len(service.Kinds()))
+	}
+	if c := buildMix(8); len(c) > 0 && c[0].Bench == a[0].Bench {
+		t.Fatal("different seeds built the same circuit")
+	}
+}
+
+// TestSoakShortRun drives the harness end to end for a fraction of a
+// second: every summary section must appear and the run must exit 0.
+func TestSoakShortRun(t *testing.T) {
+	var out, errw bytes.Buffer
+	if got := cliMain([]string{"-duration", "300ms", "-submitters", "2", "-metrics"}, &out, &errw); got != 0 {
+		t.Fatalf("exit %d (stderr: %s)", got, errw.String())
+	}
+	for _, want := range []string{"jobs done", "latency: p50", "allocs:", "soak_job_latency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package fsim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// steadyStateAllocBudget pins the per-Simulate allocation count of a
+// warmed single-worker Simulator that detects nothing new: the arenas,
+// group pool, detection scratch and trajectory rows are all recycled,
+// so the budget is zero. scripts/check.sh fails the build when a
+// change regresses it.
+const steadyStateAllocBudget = 0
+
+// parallelSteadyStateAllocBudget bounds the parallel path, which pays
+// one channel, one closure per worker and the WaitGroup escapes per
+// Simulate call (workers are spawned per call, not per block). With 4
+// workers the measured cost is ~10 allocations; 24 leaves headroom for
+// scheduler noise without letting a per-block or per-group regression
+// slip through.
+const parallelSteadyStateAllocBudget = 24
+
+// TestSimulateSteadyStateAllocs is the allocation-regression gate for
+// the tentpole claim: once a Simulator has run a sequence length once
+// (arenas sized, groups repacked), further Reset+Simulate rounds on the
+// single-worker path allocate nothing at all.
+func TestSimulateSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(5))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 6, Outputs: 6, Gates: 150, DFFs: 12, MaxFanin: 4,
+	})
+	faults := fault.Universe(c)
+	seq := randomSeq(rng, len(c.Inputs), 96)
+	s := NewSimulator(c, faults)
+	s.SetMaxWorkers(1)
+	// Warm-up: the first call grows every arena and detects what the
+	// sequence can detect; the second settles the post-detection repack.
+	s.Simulate(seq)
+	s.Reset()
+	s.Simulate(seq)
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Reset()
+		s.Simulate(seq)
+	})
+	if allocs > steadyStateAllocBudget {
+		t.Fatalf("steady-state Simulate allocates %.1f objects/run, budget %d",
+			allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestSimulateParallelSteadyStateAllocs pins the parallel path's
+// per-call coordination cost: O(workers) allocations per Simulate call
+// regardless of sequence length or group count.
+func TestSimulateParallelSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(9))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 6, Outputs: 6, Gates: 200, DFFs: 16, MaxFanin: 4,
+	})
+	faults := fault.Universe(c)
+	seq := randomSeq(rng, len(c.Inputs), 160) // two good-machine blocks
+	s := NewSimulator(c, faults)
+	s.forceParallel = true
+	s.SetMaxWorkers(4)
+	s.Simulate(seq)
+	s.Reset()
+	s.Simulate(seq)
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Reset()
+		s.Simulate(seq)
+	})
+	if allocs > parallelSteadyStateAllocBudget {
+		t.Fatalf("parallel steady-state Simulate allocates %.1f objects/run, budget %d",
+			allocs, parallelSteadyStateAllocBudget)
+	}
+}

@@ -113,10 +113,29 @@ func BenchmarkFsimParallel(b *testing.B) {
 	})
 }
 
-// BenchmarkFsimEventDriven measures the one-shot event-driven path
-// (Run) on the same >=1000-fault workload as the sequential oracle, so
-// the two numbers are directly comparable in benchmarks/baseline.txt.
+// BenchmarkFsimEventDriven measures the steady-state event-driven path
+// on the same >=1000-fault workload as the sequential oracle: one
+// persistent Simulator, rearmed per iteration, so the construction cost
+// (group packing, engines, trajectory arenas, maps) is paid once
+// outside the loop and the number is the per-run simulate cost the
+// ATPG grading loop actually pays. The remaining per-op allocation is
+// the returned newly-detected slice. BenchmarkFsimColdStart keeps the
+// old from-scratch measurement for comparison.
 func BenchmarkFsimEventDriven(b *testing.B) {
+	c, faults, seq := benchWorkload(b)
+	s := NewSimulator(c, faults)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rearm()
+		s.Simulate(seq)
+	}
+}
+
+// BenchmarkFsimColdStart measures the one-shot entry point (Run builds
+// a fresh Simulator per op); the delta against BenchmarkFsimEventDriven
+// is the construction cost the steady-state path amortizes away.
+func BenchmarkFsimColdStart(b *testing.B) {
 	c, faults, seq := benchWorkload(b)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -49,9 +49,11 @@ func (s Stats) EventsPerCycle() float64 {
 // group is one word-pair batch of faulty machines: up to GroupWidth
 // faults packed next to the good machine in bit 0. A group owns its
 // flip-flop state words, so it can be carried across Simulate calls and
-// simulated independently of every other group.
+// simulated independently of every other group. Retired groups are
+// recycled through the Simulator's group pool, so steady-state
+// repacking allocates nothing.
 type group struct {
-	faults []fault.Fault // fault k drives bit k+1
+	faults []fault.Fault // fault k drives bit k+1; group-owned storage
 	state  []logic.W     // per-DFF two-rail words
 	live   uint64        // mask of not-yet-detected, not-dropped fault bits
 }
@@ -65,6 +67,15 @@ type detection struct {
 	t int // absolute cycle of first detection
 }
 
+// ovCell is one node's overlay entry: the diverged word and the epoch
+// that validates it, packed side by side so the hot loop's "did this
+// fanin diverge, and what is its word" check touches one cache line
+// instead of two parallel slices.
+type ovCell struct {
+	w     logic.W // diverged word, meaningful only when stamp == epoch
+	stamp int64   // epoch of last divergence
+}
+
 // eventEngine simulates one group against a precomputed good-machine
 // trajectory. Because bit 0 of every word is the good machine and
 // injections never touch bit 0, a group's word at a node can differ
@@ -75,22 +86,26 @@ type detection struct {
 // epoch-stamped overlay. Nodes outside the cone are never touched --
 // their word is the good word, read straight from the shared
 // trajectory. One engine serves many groups in turn; all scratch state
-// is reused across cycles, groups and sequences.
+// is sized once at construction and reused across cycles, groups and
+// sequences -- invalidation is an epoch bump, never a reallocation or a
+// clear.
 type eventEngine struct {
 	c       *netlist.Circuit
 	level   []int               // per-node level from netlist.Levels
 	gateOut [][]netlist.GateRef // shared per-node gate fanouts with levels
-	prog    *prog
+	prog    *prog               // shared immutable evaluation program
 	inj     *injection
-	ov      []logic.W // overlay: diverged words, valid where stamp==epoch
-	stamp   []int64   // per-node epoch of last divergence
-	epoch   int64     // bumped once per group-cycle
+	ov      []ovCell // flattened overlay, valid where stamp==epoch
+	epoch   int64    // bumped once per group-cycle
 	queued  []bool
 	buckets [][]int32 // pending gates per level, drained in level order
 	stats   Stats
 }
 
-func newEventEngine(c *netlist.Circuit) *eventEngine {
+// newEventEngine builds a worker engine over the circuit. The
+// evaluation program is immutable and shared across every engine of a
+// Simulator.
+func newEventEngine(c *netlist.Circuit, p *prog) *eventEngine {
 	order, level := c.MustLevels()
 	max := 0
 	for _, id := range order {
@@ -102,10 +117,9 @@ func newEventEngine(c *netlist.Circuit) *eventEngine {
 		c:       c,
 		level:   level,
 		gateOut: c.GateFanouts(),
-		prog:    buildProg(c),
+		prog:    p,
 		inj:     newInjection(len(c.Nodes)),
-		ov:      make([]logic.W, len(c.Nodes)),
-		stamp:   make([]int64, len(c.Nodes)),
+		ov:      make([]ovCell, len(c.Nodes)),
 		queued:  make([]bool, len(c.Nodes)),
 		buckets: make([][]int32, max+1),
 	}
@@ -131,8 +145,7 @@ func (e *eventEngine) schedule(id int) {
 // diverge records the overlay word for id this cycle and propagates the
 // event to its gate fanouts.
 func (e *eventEngine) diverge(id int, w logic.W) {
-	e.ov[id] = w
-	e.stamp[id] = e.epoch
+	e.ov[id] = ovCell{w: w, stamp: e.epoch}
 	e.schedule(id)
 }
 
@@ -191,7 +204,7 @@ func (e *eventEngine) run(g *group, block sim.Seq, good [][]logic.W, base int, d
 				id := int(bucket[i])
 				e.queued[id] = false
 				evals++
-				w := e.prog.evalOv(id, gv, e.ov, e.stamp, e.epoch, e.inj.branch[id], live)
+				w := e.prog.evalOv(id, gv, e.ov, e.epoch, e.inj.branch[id], live)
 				w = force(w, e.inj.stem1[id]&live, e.inj.stem0[id]&live)
 				if w != gv[id] {
 					e.diverge(id, w)
@@ -203,10 +216,10 @@ func (e *eventEngine) run(g *group, block sim.Seq, good [][]logic.W, base int, d
 		// faulty bits against the good bit 0 and drop detected machines
 		// from the live mask so they stop forcing injections.
 		for _, id := range c.Outputs {
-			if e.stamp[id] != e.epoch {
+			if e.ov[id].stamp != e.epoch {
 				continue
 			}
-			w := e.ov[id]
+			w := e.ov[id].w
 			var diff uint64
 			switch w.Get(0) {
 			case logic.One:
@@ -231,8 +244,8 @@ func (e *eventEngine) run(g *group, block sim.Seq, good [][]logic.W, base int, d
 		for i, id := range c.DFFs {
 			f0 := c.Nodes[id].Fanin[0]
 			w := gv[f0]
-			if e.stamp[f0] == e.epoch {
-				w = e.ov[f0]
+			if cell := e.ov[f0]; cell.stamp == e.epoch {
+				w = cell.w
 			}
 			if row := e.inj.branch[id]; row != nil {
 				w = force(w, row[0].ones&live, row[0].zeros&live)

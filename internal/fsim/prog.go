@@ -38,10 +38,13 @@ func buildProg(c *netlist.Circuit) *prog {
 	return p
 }
 
-// evalOv is eval against a sparse overlay: fanin words come from ov
-// where stamp matches the current epoch (the fanin diverged from the
-// good machine this cycle) and from the good row otherwise.
-func (p *prog) evalOv(id int, good, ov []logic.W, stamp []int64, epoch int64, row []pair, live uint64) logic.W {
+// evalOv is eval against a sparse overlay: a fanin's word comes from
+// its overlay cell when the cell's stamp matches the current epoch (the
+// fanin diverged from the good machine this cycle) and from the good
+// row otherwise. The overlay is a flat struct-of-arrays: one ovCell
+// holds both the stamp and the diverged word, so the divergence check
+// and the word load hit the same cache line.
+func (p *prog) evalOv(id int, good []logic.W, ov []ovCell, epoch int64, row []pair, live uint64) logic.W {
 	fan := p.fanins[p.fanStart[id]:p.fanStart[id+1]]
 	op := p.op[id]
 	var acc logic.W
@@ -53,8 +56,8 @@ func (p *prog) evalOv(id int, good, ov []logic.W, stamp []int64, epoch int64, ro
 	case logic.OpBuf, logic.OpNot:
 		f := fan[0]
 		acc = good[f]
-		if stamp[f] == epoch {
-			acc = ov[f]
+		if cell := &ov[f]; cell.stamp == epoch {
+			acc = cell.w
 		}
 		if row != nil {
 			acc = force(acc, row[0].ones&live, row[0].zeros&live)
@@ -66,8 +69,8 @@ func (p *prog) evalOv(id int, good, ov []logic.W, stamp []int64, epoch int64, ro
 		acc = logic.W{Ones: ^uint64(0)}
 		for pin, f := range fan {
 			w := good[f]
-			if stamp[f] == epoch {
-				w = ov[f]
+			if cell := &ov[f]; cell.stamp == epoch {
+				w = cell.w
 			}
 			if row != nil {
 				w = force(w, row[pin].ones&live, row[pin].zeros&live)
@@ -81,8 +84,8 @@ func (p *prog) evalOv(id int, good, ov []logic.W, stamp []int64, epoch int64, ro
 		acc = logic.W{Zeros: ^uint64(0)}
 		for pin, f := range fan {
 			w := good[f]
-			if stamp[f] == epoch {
-				w = ov[f]
+			if cell := &ov[f]; cell.stamp == epoch {
+				w = cell.w
 			}
 			if row != nil {
 				w = force(w, row[pin].ones&live, row[pin].zeros&live)
@@ -96,8 +99,8 @@ func (p *prog) evalOv(id int, good, ov []logic.W, stamp []int64, epoch int64, ro
 		acc = logic.W{Zeros: ^uint64(0)}
 		for pin, f := range fan {
 			w := good[f]
-			if stamp[f] == epoch {
-				w = ov[f]
+			if cell := &ov[f]; cell.stamp == epoch {
+				w = cell.w
 			}
 			if row != nil {
 				w = force(w, row[pin].ones&live, row[pin].zeros&live)

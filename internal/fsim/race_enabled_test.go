@@ -1,0 +1,9 @@
+//go:build race
+
+package fsim
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes allocation behavior; the
+// allocation-budget guards skip themselves under it (scripts/check.sh
+// runs them in a dedicated race-free stage).
+const raceEnabled = true

@@ -7,8 +7,13 @@
 #                                 "bytes_per_op": 966593,
 #                                 "allocs_per_op": 320}, ...}
 #
-# Missing -benchmem columns are reported as null. The committed
-# BENCH_fsim.json is produced with
+# Missing -benchmem columns are reported as null. A "# host: ..."
+# comment line (written by bench.sh) becomes a "_host" entry, so every
+# JSON record states the core count its numbers were measured on.
+# Multi-core matrix rows keep the go-test name suffixes
+# (BenchmarkFoo/procs=2-4 etc.), so one file can hold the whole -cpu
+# matrix without collisions. The committed BENCH_fsim.json is produced
+# with
 #
 #   scripts/bench-json.sh benchmarks/latest.txt > BENCH_fsim.json
 set -eu
@@ -21,6 +26,10 @@ if [ ! -f "$IN" ]; then
 fi
 
 awk '
+    /^# host: / {
+        host = substr($0, 9)
+        gsub(/"/, "", host)
+    }
     /^Benchmark/ {
         name = $1
         ns = bytes = allocs = "null"
@@ -36,6 +45,8 @@ awk '
     }
     END {
         print "{"
+        if (host != "")
+            printf "  %c_host%c: %c%s%c%s\n", 34, 34, 34, host, 34, (n ? "," : "")
         for (i = 1; i <= n; i++)
             printf "%s%s\n", row[order[i]], (i < n ? "," : "")
         print "}"

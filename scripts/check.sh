@@ -43,6 +43,18 @@ go test -race -short -count=1 -run 'TestCheckpoint' ./internal/atpg/
 echo "== go test -race"
 go test -race -short ./...
 
+echo "== alloc-regression gate (steady-state Simulate must stay allocation-free)"
+# Deliberately WITHOUT -race: testing.AllocsPerRun is meaningless under
+# the race detector, so these tests skip themselves there. The budgets
+# live in internal/fsim/alloc_test.go (0 serial, O(workers) parallel).
+go test -count=1 -run 'TestSimulateSteadyStateAllocs|TestSimulateParallelSteadyStateAllocs' -v ./internal/fsim/ | grep -E '^(=== RUN|--- (PASS|FAIL|SKIP)|ok|FAIL)'
+
+echo "== soak smoke (concurrent mixed-kind jobs through one in-process service)"
+go run ./cmd/soak -duration 2s -submitters 2
+
+echo "== servd pprof surface (profiler mux serves index + heap off the API listener)"
+go test -count=1 -run 'TestPprofMux' ./cmd/servd/
+
 echo "== fuzz smoke (journal replay must survive arbitrary crash residue)"
 go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/service/
 
