@@ -1,0 +1,261 @@
+// Command dispatchsmoke is the kill-a-worker smoke test for the
+// distributed ATPG path, run from scripts/check.sh against real
+// processes: it starts two workerd workers and one servd pointed at
+// both, submits a distributed ATPG job, SIGKILLs one worker mid-run,
+// and asserts the job still completes with a payload identical to an
+// in-process serial atpg.Run of the same request. One worker is slowed
+// through the failpoint environment (RETEST_FAILPOINTS with a sleep
+// action on atpg.shard.fault) so the kill reliably lands while it
+// still owns unfinished shard work.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dispatchsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dispatchsmoke: ok")
+}
+
+// proc is one child server plus the address it printed at startup.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// start launches a server binary and scans its stdout for the
+// "listening on <addr>" line every server in this repo prints.
+func start(name string, env []string, args ...string) (*proc, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrc <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return &proc{cmd: cmd, addr: addr}, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("%s: no listening line within 10s", name)
+	}
+}
+
+func (p *proc) stop() {
+	if p == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func run() error {
+	servdBin := flag.String("servd", "", "path to a servd binary")
+	workerdBin := flag.String("workerd", "", "path to a workerd binary")
+	timeout := flag.Duration("timeout", 90*time.Second, "overall smoke budget")
+	flag.Parse()
+	if *servdBin == "" || *workerdBin == "" {
+		return fmt.Errorf("both -servd and -workerd are required")
+	}
+	deadline := time.Now().Add(*timeout)
+
+	// The job: a seeded random sequential circuit, default options.
+	rng := rand.New(rand.NewSource(97))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 4, Outputs: 3, Gates: 40, DFFs: 4, MaxFanin: 4,
+	})
+	spec := &service.ATPGSpec{Backends: 4}
+	req := service.Request{
+		Kind:  service.KindATPG,
+		Bench: netlist.BenchString(c),
+		ATPG:  spec,
+	}
+
+	// The reference: the same request run serially in this process.
+	faults, _ := fault.Collapse(c)
+	want := atpg.Run(c, faults, spec.Options())
+
+	// Worker A decides one shard fault per 25ms -- slow enough that the
+	// SIGKILL below lands while it owns work, fast enough to make
+	// progress worth migrating. Worker B runs at full speed.
+	slow, err := start(*workerdBin,
+		[]string{"RETEST_FAILPOINTS=atpg.shard.fault=sleep:25ms"},
+		"-addr", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer slow.stop()
+	fast, err := start(*workerdBin, nil, "-addr", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer fast.stop()
+
+	srv, err := start(*servdBin, nil,
+		"-addr", "127.0.0.1:0",
+		"-cache-bytes", "-1",
+		"-backend", "http://"+slow.addr,
+		"-backend", "http://"+fast.addr,
+	)
+	if err != nil {
+		return err
+	}
+	defer srv.stop()
+	base := "http://" + srv.addr
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dispatchsmoke: job %s on servd %s (workers %s slow, %s)\n", sub.ID, srv.addr, slow.addr, fast.addr)
+
+	// Give the dispatcher time to shard and land work on the slow
+	// worker, then kill it dead -- no drain, no goodbye.
+	time.Sleep(500 * time.Millisecond)
+	if err := slow.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("kill slow worker: %w", err)
+	}
+	slow.cmd.Wait()
+	fmt.Println("dispatchsmoke: killed the slow worker mid-run")
+
+	// Poll to completion.
+	var view struct {
+		Status string          `json:"status"`
+		Error  string          `json:"error"`
+		Result *service.Result `json:"result"`
+	}
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %q at the smoke deadline", sub.ID, view.Status)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &view); err != nil {
+			return fmt.Errorf("job poll: %w (%.200s)", err, data)
+		}
+		if view.Status == "done" || view.Status == "failed" || view.Status == "cancelled" {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if view.Status != "done" {
+		return fmt.Errorf("job %s ended %s: %s", sub.ID, view.Status, view.Error)
+	}
+	if view.Result == nil || view.Result.ATPG == nil {
+		return fmt.Errorf("job %s: done without an ATPG payload", sub.ID)
+	}
+
+	// Byte-identity against the serial reference.
+	got := view.Result.ATPG
+	wdet, wred, wab := want.Counts()
+	if got.Faults != len(faults) || got.Detected != wdet || got.Redundant != wred || got.Aborted != wab {
+		return fmt.Errorf("counts diverged: got %d/%d/%d/%d, want %d/%d/%d/%d",
+			got.Faults, got.Detected, got.Redundant, got.Aborted, len(faults), wdet, wred, wab)
+	}
+	if got.Evals != want.Effort.Evals {
+		return fmt.Errorf("evals diverged: got %d, want %d", got.Evals, want.Effort.Evals)
+	}
+	wantVecs := make([]string, len(want.TestSet))
+	for i, v := range want.TestSet {
+		wantVecs[i] = sim.VecString(v)
+	}
+	if strings.Join(got.Vectors, "\n") != strings.Join(wantVecs, "\n") {
+		return fmt.Errorf("test vectors diverged from the serial reference")
+	}
+	fmt.Printf("dispatchsmoke: merged result identical to serial reference (%d vectors, %d evals)\n",
+		len(got.Vectors), got.Evals)
+
+	// The fan-out must actually have happened.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var m map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	metric := func(name string) int64 {
+		var v int64
+		if raw, ok := m[name]; ok {
+			json.Unmarshal(raw, &v)
+		}
+		return v
+	}
+	if s := metric("dispatch.shards"); s < 2 {
+		return fmt.Errorf("dispatch.shards=%d, want >= 2", s)
+	}
+	// The kill usually shows up as retries/migrations, but the exact
+	// trail depends on where the shard was when the worker died; report
+	// rather than assert so the smoke cannot flake.
+	fmt.Printf("dispatchsmoke: shards=%d retries=%d migrations=%d degraded=%d breaker_open=%d\n",
+		metric("dispatch.shards"), metric("dispatch.retries"), metric("dispatch.migrations"),
+		metric("dispatch.degraded"), metric("dispatch.breaker_open"))
+	return nil
+}

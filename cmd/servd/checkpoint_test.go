@@ -66,7 +66,7 @@ func TestRetryResumesFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := httptest.NewServer(newHandler(svc1))
+	srv1 := httptest.NewServer(newHandler(svc1, nil))
 	id := postJob(t, srv1, checkpointedATPGRequest(t))
 	v1 := pollJob(t, srv1, id)
 	if v1.Status != service.StatusDone {
@@ -89,7 +89,7 @@ func TestRetryResumesFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2 := httptest.NewServer(newHandler(svc2))
+	srv2 := httptest.NewServer(newHandler(svc2, nil))
 	t.Cleanup(func() {
 		srv2.Close()
 		svc2.Close()
@@ -137,7 +137,7 @@ func TestCancelRacesCheckpointWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(svc))
+	srv := httptest.NewServer(newHandler(svc, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()

@@ -5,13 +5,14 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/service"
 )
 
 // newHandler routes the HTTP API onto a service instance. It is a
 // plain stdlib ServeMux so httptest can drive it directly.
-func newHandler(svc *service.Service) http.Handler {
+func newHandler(svc *service.Service, draining *atomic.Bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request
@@ -82,6 +83,14 @@ func newHandler(svc *service.Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Readiness flips before liveness ends: once shutdown begins
+		// the probe answers 503 "draining" so load balancers stop
+		// routing new work here while in-flight jobs finish.
+		if draining != nil && draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})

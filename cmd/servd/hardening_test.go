@@ -113,7 +113,7 @@ func TestQueueFull429(t *testing.T) {
 // read to the end.
 func TestBodyTooLarge413(t *testing.T) {
 	svc := service.New(service.Config{Workers: 1})
-	srv := httptest.NewServer(http.MaxBytesHandler(newHandler(svc), 1<<10))
+	srv := httptest.NewServer(http.MaxBytesHandler(newHandler(svc, nil), 1<<10))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()
@@ -142,7 +142,7 @@ func TestJournaledServiceOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := httptest.NewServer(newHandler(svc1))
+	srv1 := httptest.NewServer(newHandler(svc1, nil))
 	id := postJob(t, srv1, service.Request{
 		Kind:  service.KindRetime,
 		Bench: netlist.BenchString(netlist.Fig2C1()),
@@ -158,7 +158,7 @@ func TestJournaledServiceOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2 := httptest.NewServer(newHandler(svc2))
+	srv2 := httptest.NewServer(newHandler(svc2, nil))
 	t.Cleanup(func() {
 		srv2.Close()
 		svc2.Close()

@@ -31,9 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,8 +59,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); keep it loopback-only")
+	var backends multiFlag
+	fs.Var(&backends, "backend", "worker backend base URL for distributed ATPG (repeatable, e.g. -backend http://127.0.0.1:9100)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d] [-journal file] [-drain d] [-pprof-addr :6060]\n")
+		fmt.Fprintf(stderr, "usage: servd [-addr :8080] [-workers n] [-queue n] [-timeout d] [-journal file] [-drain d] [-pprof-addr :6060] [-backend url]...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +80,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		SyncJournal:    *syncJournal,
 		CacheBytes:     *cacheBytes,
 		CacheDir:       *cacheDir,
+		Backends:       backends,
 	}
 	if err := serve(*addr, cfg, *drain, *maxBody, *pprofAddr, stdout); err != nil {
 		fmt.Fprintln(stderr, "servd:", err)
@@ -83,32 +89,62 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// startPprof serves the profiler mux on its own listener so enabling
+// it never exposes /debug/pprof/* on the public API address. It
+// returns the server (for Shutdown during drain) and the actual bound
+// address (addr may use :0).
+func startPprof(addr string, stdout io.Writer) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("pprof listener: %w", err)
+	}
+	psrv := &http.Server{
+		Handler:           pprofMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := psrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stdout, "servd: pprof listener:", err)
+		}
+	}()
+	return psrv, ln.Addr().String(), nil
+}
+
 func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, pprofAddr string, stdout io.Writer) error {
 	svc, err := service.Open(cfg)
 	if err != nil {
 		return err
 	}
 
-	// The profiler gets its own listener and mux so enabling it never
-	// exposes /debug/pprof/* on the public API address; the goroutine
-	// dies with the process, so no drain bookkeeping is needed.
+	var psrv *http.Server
 	if pprofAddr != "" {
-		psrv := &http.Server{
-			Addr:              pprofAddr,
-			Handler:           pprofMux(),
-			ReadHeaderTimeout: 5 * time.Second,
+		var actual string
+		psrv, actual, err = startPprof(pprofAddr, stdout)
+		if err != nil {
+			svc.Close()
+			return err
 		}
-		go func() {
-			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(stdout, "servd: pprof listener:", err)
-			}
-		}()
-		fmt.Fprintf(stdout, "servd pprof on %s\n", pprofAddr)
+		fmt.Fprintf(stdout, "servd pprof on %s\n", actual)
 	}
 
+	var draining atomic.Bool
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
 	srv := &http.Server{
-		Addr:    addr,
-		Handler: http.MaxBytesHandler(newHandler(svc), maxBody),
+		Handler: http.MaxBytesHandler(newHandler(svc, &draining), maxBody),
 		// Slow-client limits: a peer trickling headers or a body, or
 		// parking idle keep-alive connections, cannot pin goroutines
 		// forever. Deliberately no WriteTimeout -- result payloads for
@@ -121,16 +157,28 @@ func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, 
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(stdout, "servd listening on %s\n", addr)
+	go func() { errc <- srv.Serve(ln) }()
+	// The actual bound address, so callers using :0 can parse the port.
+	fmt.Fprintf(stdout, "servd listening on %s\n", ln.Addr())
 
 	select {
 	case err := <-errc:
 		svc.Close()
 		return err
 	case <-ctx.Done():
+		// Flip readiness first: /healthz answers 503 "draining" for
+		// the rest of shutdown, so balancers stop sending work while
+		// in-flight requests finish below.
+		draining.Store(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
+		// The profiler port frees promptly too; a leftover pprof
+		// listener would hold the address across a restart.
+		if psrv != nil {
+			if err := psrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(stdout, "servd: pprof shutdown:", err)
+			}
+		}
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			svc.Close()
 			return err

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ import (
 func newTestServer(t *testing.T, cfg service.Config) *httptest.Server {
 	t.Helper()
 	svc := service.New(cfg)
-	srv := httptest.NewServer(newHandler(svc))
+	srv := httptest.NewServer(newHandler(svc, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()
@@ -332,5 +333,35 @@ func TestParallelATPGMetricsOverHTTP(t *testing.T) {
 		if _, ok := m[key].(float64); !ok {
 			t.Fatalf("metric %s missing: %v", key, m[key])
 		}
+	}
+}
+
+// TestHealthzDraining checks readiness-vs-liveness: /healthz answers
+// 200 "ok" while serving and flips to 503 "draining" once shutdown
+// begins (serve sets the flag before draining connections), so load
+// balancers stop routing new work to a server that is on its way out.
+func TestHealthzDraining(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	var draining atomic.Bool
+	srv := httptest.NewServer(newHandler(svc, &draining))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("live healthz = %d %q, want 200 \"ok\"", code, body)
+	}
+	draining.Store(true)
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("draining healthz = %d %q, want 503 \"draining\"", code, body)
 	}
 }

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestPprofMux checks the profiler mux serves the standard endpoints:
@@ -40,5 +43,39 @@ func TestPprofMux(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "heap profile") {
 		t.Fatalf("heap endpoint returned no profile:\n%.200s", body)
+	}
+}
+
+// TestStartPprofShutdown checks the drain path's contract with the
+// profiler listener: startPprof binds and serves, and Shutdown frees
+// the port promptly (a fresh bind of the same address succeeds), so a
+// drained servd never holds -pprof-addr across a restart.
+func TestStartPprofShutdown(t *testing.T) {
+	psrv, addr, err := startPprof("127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := psrv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("pprof shutdown: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after shutdown: %v", err)
+	}
+	ln.Close()
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("pprof still serving after shutdown")
 	}
 }

@@ -1,0 +1,103 @@
+// Command workerd is a lightweight ATPG shard worker: a single
+// execution slot (by default) behind the shard protocol that
+// internal/dispatch fans jobs out over.
+//
+// Endpoints:
+//
+//	POST   /v1/shards       submit a shard; returns {"id": ...}
+//	GET    /v1/shards/{id}  poll status; carries the latest partial
+//	                        checkpoint so the dispatcher can migrate
+//	                        this worker's work if it dies
+//	DELETE /v1/shards/{id}  cancel and forget a shard
+//	GET    /healthz         liveness probe
+//	GET    /metrics         worker counters as one JSON object
+//
+// A worker holds no durable state: everything it computes is a pure
+// function of the submitted shard, re-runnable anywhere, so crash
+// recovery is the dispatcher's job (retry elsewhere from the last
+// checkpoint), not the worker's.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+)
+
+func main() { os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("workerd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":9100", "listen address (use :0 for an ephemeral port)")
+	slots := fs.Int("slots", 1, "concurrent shard slots")
+	every := fs.Int("checkpoint-every", 0, "default partial-checkpoint cadence in decided faults (0 = library default)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: workerd [-addr :9100] [-slots n] [-checkpoint-every n]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	if err := serve(*addr, *slots, *every, stdout); err != nil {
+		fmt.Fprintln(stderr, "workerd:", err)
+		return 1
+	}
+	return 0
+}
+
+func serve(addr string, slots, every int, stdout io.Writer) error {
+	w := dispatch.NewWorker(dispatch.WorkerConfig{
+		MaxConcurrent:   slots,
+		CheckpointEvery: every,
+		Metrics:         metrics.NewRegistry(),
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           http.MaxBytesHandler(w.Handler(), 64<<20),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	// The actual bound address, so callers using :0 can parse the port.
+	fmt.Fprintf(stdout, "workerd listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		w.Close()
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		w.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(stdout, "workerd: shut down")
+		return nil
+	}
+}

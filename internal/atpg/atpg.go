@@ -194,6 +194,14 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
 // -- together with the context error. With a never-cancelled context the
 // result is byte-identical to Run.
 func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opt Options) (*Result, error) {
+	return runMerge(ctx, c, faults, opt, nil)
+}
+
+// runMerge is the deterministic merge loop behind RunContext and
+// RunContextWithCandidates: a non-nil lookup supplies precomputed
+// per-fault PODEM candidates (distributed shard results) in place of
+// inline generation or local speculation.
+func runMerge(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opt Options, lookup CandidateLookup) (*Result, error) {
 	start := time.Now()
 	res := &Result{
 		Circuit: c,
@@ -315,9 +323,12 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, o
 		}
 	}
 
-	if opt.Workers > 1 {
+	switch {
+	case lookup != nil:
+		src = &lookupSource{lookup: lookup, eng: eng}
+	case opt.Workers > 1:
 		src = newSpeculator(ctx, c, opt, remaining, eng)
-	} else {
+	default:
 		src = serialSource{eng: eng}
 	}
 	for len(remaining) > 0 {

@@ -1,0 +1,190 @@
+package atpg
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/failpoint"
+	"repro/internal/fault"
+)
+
+// shardLookup builds a CandidateLookup over a set of decision logs.
+func shardLookup(logs ...[]DecidedFault) CandidateLookup {
+	m := make(map[fault.Fault]DecidedFault)
+	for _, log := range logs {
+		for _, d := range log {
+			m[d.Fault] = d
+		}
+	}
+	return func(f fault.Fault) (DecidedFault, bool) {
+		d, ok := m[f]
+		return d, ok
+	}
+}
+
+// TestShardedByteIdentical is the distributed core contract: slicing
+// the survivor list into shards, precomputing each shard with
+// GenerateShard, and merging through RunContextWithCandidates yields a
+// Result byte-identical to Run at every shard count.
+func TestShardedByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range parallelWorkloads(t) {
+		reps, _ := fault.Collapse(c)
+		opt := parallelOptions()
+		want := Run(c, reps, opt)
+		survivors, err := RandomSurvivors(ctx, c, reps, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			logs := make([][]DecidedFault, 0, shards)
+			for i := 0; i < shards; i++ {
+				lo, hi := i*len(survivors)/shards, (i+1)*len(survivors)/shards
+				if lo == hi {
+					continue
+				}
+				log, err := GenerateShard(ctx, c, survivors[lo:hi], opt)
+				if err != nil {
+					t.Fatalf("%s shard %d/%d: %v", c.Name, i, shards, err)
+				}
+				if len(log) != hi-lo {
+					t.Fatalf("%s shard %d/%d: %d decisions for %d faults", c.Name, i, shards, len(log), hi-lo)
+				}
+				logs = append(logs, log)
+			}
+			got, err := RunContextWithCandidates(ctx, c, reps, opt, shardLookup(logs...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Parallel != nil {
+				t.Fatalf("%s shards=%d: Parallel stats on a candidate-fed run", c.Name, shards)
+			}
+			if !reflect.DeepEqual(normalize(want), normalize(got)) {
+				t.Fatalf("%s: sharded result (shards=%d) differs from serial Run", c.Name, shards)
+			}
+		}
+	}
+}
+
+// TestLookupMissFallsBackInline: an empty lookup degrades to plain
+// inline generation, still byte-identical (the degenerate case the
+// dispatcher hits when every shard result is lost).
+func TestLookupMissFallsBackInline(t *testing.T) {
+	c := parallelWorkloads(t)[2]
+	reps, _ := fault.Collapse(c)
+	opt := parallelOptions()
+	want := Run(c, reps, opt)
+	got, err := RunContextWithCandidates(context.Background(), c, reps, opt,
+		func(fault.Fault) (DecidedFault, bool) { return DecidedFault{}, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(want), normalize(got)) {
+		t.Fatal("miss-everything lookup diverged from serial Run")
+	}
+}
+
+// TestGenerateShardResume: a shard killed mid-flight leaves a partial
+// checkpoint; resuming it (on "another backend") replays the decided
+// prefix without re-running PODEM and completes to the identical log.
+func TestGenerateShardResume(t *testing.T) {
+	ctx := context.Background()
+	c := parallelWorkloads(t)[2]
+	reps, _ := fault.Collapse(c)
+	opt := parallelOptions()
+	survivors, err := RandomSurvivors(ctx, c, reps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(survivors) < 4 {
+		t.Skipf("only %d survivors, need a few to split", len(survivors))
+	}
+	full, err := GenerateShard(ctx, c, survivors, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt dies after deciding half the shard: cancel via a
+	// context the OnWrite callback trips at the halfway mark.
+	half := len(survivors) / 2
+	actx, cancel := context.WithCancel(ctx)
+	var partial *Checkpoint
+	opt1 := opt
+	opt1.Checkpoint = CheckpointConfig{
+		Every: 1,
+		OnWrite: func(ck *Checkpoint, _ error) {
+			if len(ck.Decided) >= half && partial == nil {
+				snap, err := DecodeCheckpoint(ck.Encode())
+				if err != nil {
+					t.Errorf("snapshot partial checkpoint: %v", err)
+					return
+				}
+				partial = snap
+				cancel()
+			}
+		},
+	}
+	prefix, err := GenerateShard(actx, c, survivors, opt1)
+	if err == nil {
+		t.Fatal("cancelled shard returned no error")
+	}
+	if partial == nil {
+		t.Fatal("no partial checkpoint captured")
+	}
+	if len(prefix) < half {
+		t.Fatalf("decided prefix %d < %d", len(prefix), half)
+	}
+
+	// Resume from the partial: replayed entries must not re-run PODEM
+	// (fresh = total - replayed), and the final log must be identical.
+	fresh := 0
+	failpoint.Enable(FailpointShardFault, func() error { fresh++; return nil })
+	defer failpoint.Disable(FailpointShardFault)
+	opt2 := opt
+	opt2.Checkpoint = CheckpointConfig{ResumeFrom: partial}
+	resumed, err := GenerateShard(ctx, c, survivors, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(survivors) - len(partial.Decided); fresh != want {
+		t.Fatalf("resumed shard ran PODEM on %d faults, want %d (replay must not recompute)", fresh, want)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("resumed shard log differs from the uninterrupted one")
+	}
+}
+
+// TestShardCheckpointRoundTrip: ShardCheckpoint output survives the
+// wire (Encode/Decode) and validates against its own identity.
+func TestShardCheckpointRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c := parallelWorkloads(t)[0]
+	reps, _ := fault.Collapse(c)
+	opt := parallelOptions()
+	survivors, err := RandomSurvivors(ctx, c, reps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := GenerateShard(ctx, c, survivors, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := ShardCheckpoint(c, survivors, opt, log)
+	back, err := DecodeCheckpoint(ck.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(c, survivors, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Decided, log) {
+		t.Fatal("decision log mutated on the wire")
+	}
+	// And against a different fault list it must not validate.
+	if len(survivors) > 1 {
+		if err := back.Validate(c, survivors[1:], opt); err == nil {
+			t.Fatal("checkpoint validated against the wrong fault list")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend consecutive-failure circuit breaker. Shard
+// failures and missed heartbeats both feed it; once threshold
+// consecutive failures accumulate the breaker opens and pickBackend
+// stops routing work to the backend until cooldown elapses (half-open:
+// the next attempt probes it, success closes the breaker, failure
+// re-opens it for another cooldown).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	// opened counts open transitions, reported through the
+	// dispatch.breaker_open counter by the owner.
+	opened int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether the backend may be offered work at time now.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive < b.threshold || !now.Before(b.openUntil)
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// failure records one failure and reports whether this transitioned
+// (or re-armed) the breaker into the open state.
+func (b *breaker) failure(now time.Time) (openedNow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive < b.threshold {
+		return false
+	}
+	// At or past the threshold: every further failure re-arms the
+	// cooldown (a failed half-open probe re-opens), but only the
+	// crossing and re-openings count as transitions.
+	wasOpen := !b.openUntil.IsZero() && now.Before(b.openUntil)
+	b.openUntil = now.Add(b.cooldown)
+	if !wasOpen {
+		b.opened++
+		return true
+	}
+	return false
+}
+
+// splitMix is the same tiny deterministic PRNG the ATPG random phase
+// uses, so jittered backoff is reproducible under a seeded Config.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Jitter spreads retry delays over [d/2, d] with a deterministic
+// seeded PRNG, so independent retry schedules (shard attempts here,
+// recovered-job re-runs in the service layer) decorrelate instead of
+// stampeding in lockstep. Safe for concurrent use.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *splitMix
+}
+
+// NewJitter returns a Jitter seeded with seed (same seed, same
+// sequence -- tests pin schedules this way).
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: newSplitMix(uint64(seed))}
+}
+
+// Spread maps a base delay d to a uniform pick from [d/2, d].
+func (j *Jitter) Spread(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return half + time.Duration(j.rng.next()%uint64(half+1))
+}
+
+// backoffDelay computes the capped, jittered exponential delay before
+// retry number attempt (attempt >= 1): base << (attempt-1), capped,
+// then spread over [d/2, d] so simultaneous shard failures do not
+// thunder-herd the surviving backends.
+func backoffDelay(base, cap_ time.Duration, attempt int, rng *splitMix) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= cap_ || d <= 0 {
+			d = cap_
+			break
+		}
+	}
+	if d > cap_ {
+		d = cap_
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.next()%uint64(half+1))
+}

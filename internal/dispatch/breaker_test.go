@@ -1,0 +1,89 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(2, time.Minute)
+
+	if !b.allow(t0) {
+		t.Fatal("fresh breaker denies work")
+	}
+	if b.failure(t0) {
+		t.Fatal("first failure opened a threshold-2 breaker")
+	}
+	if !b.allow(t0) {
+		t.Fatal("below-threshold breaker denies work")
+	}
+	if !b.failure(t0) {
+		t.Fatal("threshold-crossing failure did not report opening")
+	}
+	if b.allow(t0.Add(30 * time.Second)) {
+		t.Fatal("open breaker allows work inside the cooldown")
+	}
+	if !b.allow(t0.Add(time.Minute)) {
+		t.Fatal("cooled-down breaker denies the half-open probe")
+	}
+	// A failed half-open probe re-arms the cooldown without counting a
+	// new transition (it never closed).
+	if b.failure(t0.Add(30 * time.Second)) {
+		t.Fatal("still-open failure counted as a new transition")
+	}
+	// A probe failure after the cooldown elapsed re-opens: transition.
+	if !b.failure(t0.Add(2 * time.Minute)) {
+		t.Fatal("failed half-open probe did not report re-opening")
+	}
+	b.success()
+	if !b.allow(t0.Add(2 * time.Minute)) {
+		t.Fatal("closed breaker denies work")
+	}
+	if b.failure(t0.Add(2 * time.Minute)) {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBackoffDelayShape(t *testing.T) {
+	rng := newSplitMix(1)
+	base, cap_ := 10*time.Millisecond, 80*time.Millisecond
+	// Unjittered ladder: 10, 20, 40, 80, 80, ... each spread to [d/2, d].
+	wantCap := []time.Duration{10, 20, 40, 80, 80, 80}
+	for attempt := 1; attempt <= len(wantCap); attempt++ {
+		d := wantCap[attempt-1] * time.Millisecond
+		for i := 0; i < 100; i++ {
+			got := backoffDelay(base, cap_, attempt, rng)
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+	if d := backoffDelay(0, cap_, 3, rng); d != 0 {
+		t.Fatalf("zero base gave %v", d)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	a, b := NewJitter(42), NewJitter(42)
+	other := NewJitter(43)
+	mismatched := false
+	for i := 0; i < 32; i++ {
+		x := a.Spread(time.Second)
+		if x < 500*time.Millisecond || x > time.Second {
+			t.Fatalf("spread %v outside [500ms, 1s]", x)
+		}
+		if x != b.Spread(time.Second) {
+			t.Fatal("equal seeds diverged")
+		}
+		if x != other.Spread(time.Second) {
+			mismatched = true
+		}
+	}
+	if !mismatched {
+		t.Fatal("different seeds produced the identical 32-draw sequence")
+	}
+	if d := NewJitter(1).Spread(1); d != 1 {
+		t.Fatalf("sub-divisible delay %v, want passthrough", d)
+	}
+}

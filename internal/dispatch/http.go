@@ -1,0 +1,237 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+// HTTPBackend drives one cmd/workerd worker over the shard protocol
+// (see wire.go). Run submits the shard, then polls it; every poll is
+// also the heartbeat, and the latest partial checkpoint rides along in
+// the poll response, so the dispatcher's view of migratable work is
+// never older than one poll interval. A bounded number of consecutive
+// poll failures is tolerated (a torn heartbeat is not a dead worker);
+// past that the attempt fails and the dispatcher's retry ladder takes
+// over with the last validated checkpoint.
+type HTTPBackend struct {
+	name string
+	base string // http://host:port, no trailing slash
+	c    *http.Client
+
+	// PollEvery is the status poll (heartbeat) interval. Zero means
+	// DefaultPollEvery.
+	PollEvery time.Duration
+	// RequestTimeout bounds each individual HTTP request. Zero means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxPollFailures is how many consecutive failed polls Run rides
+	// out before declaring the attempt dead. Zero means
+	// DefaultMaxPollFailures.
+	MaxPollFailures int
+}
+
+// Defaults for HTTPBackend tunables.
+const (
+	DefaultPollEvery       = 50 * time.Millisecond
+	DefaultRequestTimeout  = 5 * time.Second
+	DefaultMaxPollFailures = 3
+)
+
+// NewHTTPBackend returns a backend for the worker at base
+// (e.g. "http://127.0.0.1:9100"). The backend's name is its base URL
+// stripped of the scheme.
+func NewHTTPBackend(base string) *HTTPBackend {
+	base = strings.TrimRight(base, "/")
+	name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	return &HTTPBackend{name: name, base: base, c: &http.Client{}}
+}
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.name }
+
+func (b *HTTPBackend) pollEvery() time.Duration {
+	if b.PollEvery > 0 {
+		return b.PollEvery
+	}
+	return DefaultPollEvery
+}
+
+func (b *HTTPBackend) reqTimeout() time.Duration {
+	if b.RequestTimeout > 0 {
+		return b.RequestTimeout
+	}
+	return DefaultRequestTimeout
+}
+
+func (b *HTTPBackend) maxPollFailures() int {
+	if b.MaxPollFailures > 0 {
+		return b.MaxPollFailures
+	}
+	return DefaultMaxPollFailures
+}
+
+// do performs one request with the per-request timeout, decoding a JSON
+// response into out when non-nil. Non-2xx responses are errors.
+func (b *HTTPBackend) do(ctx context.Context, method, path string, body, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, b.reqTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, b.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return fmt.Errorf("backend %s: %s %s: %s: %s", b.name, method, path, resp.Status, msg)
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Healthy implements Backend: a GET /healthz round trip.
+func (b *HTTPBackend) Healthy(ctx context.Context) error {
+	return b.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Run implements Backend: submit, poll-with-heartbeat, validate, done.
+// Every checkpoint the worker hands back -- partial or final -- is
+// decoded and identity-validated against the spec before it is trusted
+// (a poisoned response fails the attempt instead of reaching the
+// merge).
+func (b *HTTPBackend) Run(ctx context.Context, spec ShardSpec, progress Progress) ([]atpg.DecidedFault, error) {
+	req := shardRequest{
+		Name:            spec.Circuit.Name,
+		Bench:           spec.Bench,
+		Fault:           toFaultWire(spec.Faults),
+		Opt:             toOptionsWire(spec.Opt),
+		CheckpointEvery: spec.CheckpointEvery,
+	}
+	if spec.Bench == "" {
+		req.Bench = netlist.BenchString(spec.Circuit)
+	}
+	if spec.Resume != nil {
+		req.Resume = spec.Resume.Encode()
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.DeadlineMS = ms
+		}
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := b.do(ctx, http.MethodPost, "/v1/shards", req, &sub); err != nil {
+		return nil, err
+	}
+	if sub.ID == "" {
+		return nil, fmt.Errorf("backend %s: submit returned no shard id", b.name)
+	}
+	path := "/v1/shards/" + url.PathEscape(sub.ID)
+	// Best-effort cleanup so an abandoned attempt does not keep burning
+	// worker CPU; a fresh context because ctx may already be done.
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), b.reqTimeout())
+		defer cancel()
+		b.do(dctx, http.MethodDelete, path, nil, nil) //nolint:errcheck
+	}()
+
+	tick := time.NewTicker(b.pollEvery())
+	defer tick.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+		var st shardStatusWire
+		if err := b.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if fails++; fails > b.maxPollFailures() {
+				return nil, fmt.Errorf("backend %s: %d consecutive poll failures: %w", b.name, fails, err)
+			}
+			continue
+		}
+		fails = 0
+		switch st.State {
+		case shardStateQueued, shardStateRunning:
+			if len(st.Checkpoint) > 0 && progress != nil {
+				if ck := b.validated(st.Checkpoint, spec, false); ck != nil {
+					progress(ck)
+				}
+			}
+		case shardStateDone:
+			ck := b.validated(st.Checkpoint, spec, true)
+			if ck == nil {
+				return nil, fmt.Errorf("backend %s: final checkpoint failed validation", b.name)
+			}
+			return ck.Decided, nil
+		case shardStateFailed:
+			return nil, fmt.Errorf("backend %s: shard failed: %s", b.name, st.Error)
+		default:
+			return nil, fmt.Errorf("backend %s: unknown shard state %q", b.name, st.State)
+		}
+	}
+}
+
+// validated decodes and identity-validates an on-the-wire checkpoint
+// against the shard spec, additionally requiring completeness when
+// final. It returns nil on any mismatch -- the caller treats a bad
+// partial as absent and a bad final as a failed attempt.
+func (b *HTTPBackend) validated(data []byte, spec ShardSpec, final bool) *atpg.Checkpoint {
+	ck, err := atpg.DecodeCheckpoint(data)
+	if err != nil {
+		return nil
+	}
+	opt := spec.Opt
+	opt.Workers = 0
+	opt.Checkpoint = atpg.CheckpointConfig{}
+	if err := ck.Validate(spec.Circuit, spec.Faults, opt); err != nil {
+		return nil
+	}
+	for i, d := range ck.Decided {
+		if i >= len(spec.Faults) || spec.Faults[i] != d.Fault {
+			return nil
+		}
+	}
+	if final && len(ck.Decided) != len(spec.Faults) {
+		return nil
+	}
+	return ck
+}

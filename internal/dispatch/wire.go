@@ -1,0 +1,138 @@
+package dispatch
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// The shard protocol wire format, shared by HTTPBackend (client) and
+// Worker (server, fronted by cmd/workerd).
+//
+//	POST   /v1/shards       submit a shard (shardRequest); 202 {"id":...}
+//	GET    /v1/shards/{id}  poll status (shardStatusWire); doubles as the
+//	                        heartbeat -- the latest partial checkpoint
+//	                        rides along, so the dispatcher always holds
+//	                        migratable state for a backend that dies
+//	DELETE /v1/shards/{id}  cancel and forget the shard
+//	GET    /healthz         liveness probe (the heartbeat target)
+//
+// Checkpoints travel in the PR 5 canonical binary encoding (base64 in
+// JSON); both the final decision log and every partial checkpoint are
+// the same format, identity-hash bound to (circuit, shard fault list,
+// options), so the receiver validates everything it is handed and a
+// poisoned response can never reach the merge.
+
+// optionsWire is the JSON shape of the result-affecting atpg.Options.
+// Workers and Checkpoint are deliberately absent: both are
+// result-neutral and backend-local.
+type optionsWire struct {
+	MaxFrames         int   `json:"max_frames"`
+	MaxBacktracks     int   `json:"max_backtracks"`
+	MaxEvalsPerFault  int64 `json:"max_evals_per_fault"`
+	MaxEvalsTotal     int64 `json:"max_evals_total"`
+	GuidedBacktrace   bool  `json:"guided_backtrace"`
+	FillValue         uint8 `json:"fill_value"`
+	RandomPhase       bool  `json:"random_phase"`
+	RandomLength      int   `json:"random_length"`
+	RandomCount       int   `json:"random_count"`
+	RandomSeed        int64 `json:"random_seed"`
+	IdentifyRedundant bool  `json:"identify_redundant"`
+	SyncSeed          bool  `json:"sync_seed"`
+}
+
+func toOptionsWire(opt atpg.Options) optionsWire {
+	return optionsWire{
+		MaxFrames:         opt.MaxFrames,
+		MaxBacktracks:     opt.MaxBacktracks,
+		MaxEvalsPerFault:  opt.MaxEvalsPerFault,
+		MaxEvalsTotal:     opt.MaxEvalsTotal,
+		GuidedBacktrace:   opt.GuidedBacktrace,
+		FillValue:         uint8(opt.FillValue),
+		RandomPhase:       opt.RandomPhase,
+		RandomLength:      opt.RandomLength,
+		RandomCount:       opt.RandomCount,
+		RandomSeed:        opt.RandomSeed,
+		IdentifyRedundant: opt.IdentifyRedundant,
+		SyncSeed:          opt.SyncSeed,
+	}
+}
+
+func (w optionsWire) options() atpg.Options {
+	return atpg.Options{
+		MaxFrames:         w.MaxFrames,
+		MaxBacktracks:     w.MaxBacktracks,
+		MaxEvalsPerFault:  w.MaxEvalsPerFault,
+		MaxEvalsTotal:     w.MaxEvalsTotal,
+		GuidedBacktrace:   w.GuidedBacktrace,
+		FillValue:         logic.V(w.FillValue),
+		RandomPhase:       w.RandomPhase,
+		RandomLength:      w.RandomLength,
+		RandomCount:       w.RandomCount,
+		RandomSeed:        w.RandomSeed,
+		IdentifyRedundant: w.IdentifyRedundant,
+		SyncSeed:          w.SyncSeed,
+	}
+}
+
+// faultWire is one fault on the wire.
+type faultWire struct {
+	Node int   `json:"node"`
+	Pin  int   `json:"pin"`
+	SA   uint8 `json:"sa"`
+}
+
+func toFaultWire(fs []fault.Fault) []faultWire {
+	out := make([]faultWire, len(fs))
+	for i, f := range fs {
+		out[i] = faultWire{Node: f.Node, Pin: f.Pin, SA: uint8(f.SA)}
+	}
+	return out
+}
+
+func fromFaultWire(ws []faultWire) []fault.Fault {
+	out := make([]fault.Fault, len(ws))
+	for i, w := range ws {
+		out[i] = fault.Fault{Site: fault.Site{Node: w.Node, Pin: w.Pin}, SA: logic.V(w.SA)}
+	}
+	return out
+}
+
+// shardRequest submits one shard to a worker.
+type shardRequest struct {
+	// Name and Bench reproduce the circuit: parsing Bench under Name
+	// yields the identical canonical rendering, hence the identical
+	// circuit identity hash.
+	Name  string      `json:"name"`
+	Bench string      `json:"bench"`
+	Fault []faultWire `json:"faults"`
+	Opt   optionsWire `json:"options"`
+	// Resume is an encoded checkpoint of previously completed work for
+	// this shard (migration); the worker validates it before replay.
+	Resume []byte `json:"resume,omitempty"`
+	// CheckpointEvery is the partial-checkpoint cadence in decided
+	// faults (0 = worker default).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// DeadlineMS bounds the shard's run on the worker (0 = none); the
+	// dispatcher enforces its own per-shard deadline regardless.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Shard lifecycle states on the worker.
+const (
+	shardStateQueued  = "queued"
+	shardStateRunning = "running"
+	shardStateDone    = "done"
+	shardStateFailed  = "failed"
+)
+
+// shardStatusWire is a poll response.
+type shardStatusWire struct {
+	State string `json:"state"`
+	// Decided counts log entries so far (replayed + fresh).
+	Decided int `json:"decided"`
+	// Checkpoint is the latest partial checkpoint while running, and
+	// the complete decision log once done, in the canonical encoding.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	Error      string `json:"error,omitempty"`
+}

@@ -1,0 +1,286 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+)
+
+// Worker is the server side of the shard protocol -- the engine behind
+// cmd/workerd, exported so tests can mount it on httptest servers. It
+// accepts shards, runs them through atpg.GenerateShard under a bounded
+// concurrency semaphore, and serves poll responses carrying the latest
+// partial checkpoint (canonical encoding) so the dispatcher always has
+// migratable state on hand.
+type Worker struct {
+	sem             chan struct{}
+	checkpointEvery int
+	reg             *metrics.Registry
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	shards map[string]*workerShard
+}
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// MaxConcurrent bounds simultaneously running shards (default 1:
+	// a workerd is one execution slot; run more processes for more
+	// slots).
+	MaxConcurrent int
+	// CheckpointEvery is the partial-checkpoint cadence in decided
+	// faults when the request does not set one (default
+	// atpg.DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Metrics receives worker.shards.{accepted,done,failed} counters
+	// when non-nil.
+	Metrics *metrics.Registry
+}
+
+type workerShard struct {
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   string
+	decided int
+	latest  []byte // latest checkpoint, canonical encoding
+	errMsg  string
+}
+
+// NewWorker returns a Worker ready to serve.
+func NewWorker(cfg WorkerConfig) *Worker {
+	n := cfg.MaxConcurrent
+	if n <= 0 {
+		n = 1
+	}
+	return &Worker{
+		sem:             make(chan struct{}, n),
+		checkpointEvery: cfg.CheckpointEvery,
+		reg:             cfg.Metrics,
+		shards:          make(map[string]*workerShard),
+	}
+}
+
+func (w *Worker) count(name string) {
+	if w.reg != nil {
+		w.reg.Counter(name).Inc()
+	}
+}
+
+// Close cancels every in-flight shard and rejects new submissions.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	w.closed = true
+	shards := make([]*workerShard, 0, len(w.shards))
+	for _, sh := range w.shards {
+		shards = append(shards, sh)
+	}
+	w.mu.Unlock()
+	for _, sh := range shards {
+		sh.cancel()
+	}
+}
+
+// Handler returns the worker's HTTP mux: the shard protocol plus
+// /healthz and /metrics.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		if w.reg != nil {
+			w.reg.WriteJSON(rw) //nolint:errcheck
+		} else {
+			fmt.Fprintln(rw, "{}")
+		}
+	})
+	mux.HandleFunc("/v1/shards", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.handleSubmit(rw, r)
+	})
+	mux.HandleFunc("/v1/shards/", func(rw http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/shards/")
+		switch r.Method {
+		case http.MethodGet:
+			w.handleStatus(rw, id)
+		case http.MethodDelete:
+			w.handleDelete(rw, id)
+		default:
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
+	var req shardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := netlist.ParseBenchString(req.Name, req.Bench)
+	if err != nil {
+		http.Error(rw, "bad circuit: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	faults := fromFaultWire(req.Fault)
+	if len(faults) == 0 {
+		http.Error(rw, "empty shard", http.StatusBadRequest)
+		return
+	}
+	opt := req.Opt.options()
+	var resume *atpg.Checkpoint
+	if len(req.Resume) > 0 {
+		ck, err := atpg.DecodeCheckpoint(req.Resume)
+		if err != nil {
+			http.Error(rw, "bad resume checkpoint: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Identity-validate before accepting migrated work; replay in
+		// GenerateShard re-checks, but rejecting here keeps a poisoned
+		// migration from ever occupying the run slot.
+		if err := ck.Validate(c, faults, opt); err != nil {
+			http.Error(rw, "bad resume checkpoint: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resume = ck
+	}
+
+	sh := &workerShard{state: shardStateQueued}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(req.DeadlineMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	sh.cancel = cancel
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		cancel()
+		http.Error(rw, "worker shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.nextID++
+	id := fmt.Sprintf("s%d", w.nextID)
+	w.shards[id] = sh
+	w.mu.Unlock()
+	w.count("worker.shards.accepted")
+
+	every := req.CheckpointEvery
+	if every <= 0 {
+		every = w.checkpointEvery
+	}
+	go w.run(ctx, sh, c, faults, opt, resume, every)
+
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(rw).Encode(map[string]string{"id": id}) //nolint:errcheck
+}
+
+// run executes one shard: wait for a slot, generate, publish the final
+// (or failure-point partial) checkpoint.
+func (w *Worker) run(ctx context.Context, sh *workerShard, c *netlist.Circuit,
+	faults []fault.Fault, opt atpg.Options, resume *atpg.Checkpoint, every int) {
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-ctx.Done():
+		sh.fail(ctx.Err().Error())
+		w.count("worker.shards.failed")
+		return
+	}
+	sh.mu.Lock()
+	sh.state = shardStateRunning
+	sh.mu.Unlock()
+
+	opt.Workers = 0
+	opt.Checkpoint = atpg.CheckpointConfig{
+		Every:      every,
+		ResumeFrom: resume,
+		OnWrite: func(ck *atpg.Checkpoint, _ error) {
+			// Snapshot the live log through the canonical encoding; the
+			// poll handler serves these bytes verbatim.
+			sh.publish(ck.Encode(), len(ck.Decided))
+		},
+	}
+	decided, err := atpg.GenerateShard(ctx, c, faults, opt)
+	final := atpg.ShardCheckpoint(c, faults, opt, decided)
+	sh.publish(final.Encode(), len(decided))
+	if err != nil {
+		sh.fail(err.Error())
+		w.count("worker.shards.failed")
+		return
+	}
+	sh.mu.Lock()
+	sh.state = shardStateDone
+	sh.mu.Unlock()
+	w.count("worker.shards.done")
+}
+
+func (sh *workerShard) publish(encoded []byte, decided int) {
+	sh.mu.Lock()
+	sh.latest = encoded
+	sh.decided = decided
+	sh.mu.Unlock()
+}
+
+func (sh *workerShard) fail(msg string) {
+	sh.mu.Lock()
+	if sh.state != shardStateDone {
+		sh.state = shardStateFailed
+		sh.errMsg = msg
+	}
+	sh.mu.Unlock()
+}
+
+func (w *Worker) lookup(id string) *workerShard {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.shards[id]
+}
+
+func (w *Worker) handleStatus(rw http.ResponseWriter, id string) {
+	sh := w.lookup(id)
+	if sh == nil {
+		http.Error(rw, "no such shard", http.StatusNotFound)
+		return
+	}
+	sh.mu.Lock()
+	st := shardStatusWire{State: sh.state, Decided: sh.decided, Checkpoint: sh.latest, Error: sh.errMsg}
+	sh.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(st) //nolint:errcheck
+}
+
+func (w *Worker) handleDelete(rw http.ResponseWriter, id string) {
+	w.mu.Lock()
+	sh := w.shards[id]
+	delete(w.shards, id)
+	w.mu.Unlock()
+	if sh == nil {
+		http.Error(rw, "no such shard", http.StatusNotFound)
+		return
+	}
+	sh.cancel()
+	rw.WriteHeader(http.StatusNoContent)
+}

@@ -36,7 +36,16 @@ const cachePayloadVersion = "service.v1"
 // (TimeoutMS) are deliberately excluded. Equivalent spellings are
 // normalized ("" == "period", "" == "zeros", seed ignored unless the
 // fill is random) so they share an entry.
-func requestKey(req *Request, c *netlist.Circuit) resultcache.Key {
+//
+// distributed says whether the ATPG leg will run through the backend
+// dispatcher (Service.distributed). Distribution itself is
+// result-neutral -- vectors and counts are byte-identical at every
+// shard count -- but a distributed run never populates the parallel
+// engine stats, so its Workers echo is always 0: the key normalizes
+// the worker count to 0 so every distributed submission shares one
+// entry (and shares it with the serial Workers<=1 spelling, which
+// produces the identical payload).
+func requestKey(req *Request, c *netlist.Circuit, distributed bool) resultcache.Key {
 	opt := req.ATPG.Options()
 	var faults []fault.Fault
 	switch req.Kind {
@@ -54,9 +63,13 @@ func requestKey(req *Request, c *netlist.Circuit) resultcache.Key {
 		}
 		parts = append(parts, mode)
 	case KindATPG:
+		workers := opt.Workers
+		if distributed || workers <= 1 {
+			workers = 0
+		}
 		parts = append(parts,
 			strconv.FormatUint(oh, 16),
-			strconv.Itoa(opt.Workers))
+			strconv.Itoa(workers))
 	case KindFaultSim:
 		parts = append(parts, req.Tests)
 	case KindDeriveTests:
@@ -89,7 +102,7 @@ func (s *Service) executeCached(ctx context.Context, id string, req *Request, c 
 	if s.cache == nil {
 		return s.dispatch(ctx, id, req, c)
 	}
-	key := requestKey(req, c)
+	key := requestKey(req, c, s.distributed(req))
 	payload, src, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		res, err := s.dispatch(ctx, id, req, c)
 		if err != nil {

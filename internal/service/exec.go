@@ -109,6 +109,25 @@ func (s *Service) execRetime(ctx context.Context, req *Request, c *netlist.Circu
 	return &Result{Retime: out}, nil
 }
 
+// distributed reports whether a request's ATPG leg runs through the
+// backend dispatcher: the job must ask (ATPGSpec.Backends > 0) and the
+// service must have backends configured. Result-neutral either way,
+// but the cache key normalization (requestKey) must agree with this
+// exact predicate.
+func (s *Service) distributed(req *Request) bool {
+	return s.disp != nil && req.ATPG != nil && req.ATPG.Backends > 0
+}
+
+// runATPG picks the execution engine for one ATPG run: the fan-out
+// dispatcher when the request opts in and backends exist, the local
+// library engine otherwise. Byte-identical output either way.
+func (s *Service) runATPG(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opt atpg.Options, req *Request) (*atpg.Result, error) {
+	if s.distributed(req) {
+		return s.disp.RunShards(ctx, c, faults, opt, req.ATPG.Backends)
+	}
+	return atpg.RunContext(ctx, c, faults, opt)
+}
+
 func (s *Service) execATPG(ctx context.Context, id string, req *Request, c *netlist.Circuit) (*Result, error) {
 	var faults []fault.Fault
 	if err := s.stage(ctx, "collapse", func() error {
@@ -126,14 +145,14 @@ func (s *Service) execATPG(ctx context.Context, id string, req *Request, c *netl
 	var res *atpg.Result
 	if err := s.stage(ctx, "atpg", func() error {
 		var err error
-		res, err = atpg.RunContext(ctx, c, faults, opt)
+		res, err = s.runATPG(ctx, c, faults, opt, req)
 		if errors.Is(err, atpg.ErrCheckpointMismatch) {
 			// The file validated but its decision log diverged mid-replay
 			// (hand-edited, or an identity-hash collision): discard it and
 			// run clean rather than fail the job.
 			s.discardCheckpoint(opt.Checkpoint.Path)
 			opt.Checkpoint.ResumeFrom = nil
-			res, err = atpg.RunContext(ctx, c, faults, opt)
+			res, err = s.runATPG(ctx, c, faults, opt, req)
 		}
 		return err
 	}); err != nil {

@@ -109,6 +109,9 @@ func (r *Request) Validate() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("service: negative timeout")
 	}
+	if r.ATPG != nil && r.ATPG.Backends < 0 {
+		return fmt.Errorf("service: negative backends")
+	}
 	return nil
 }
 
@@ -138,6 +141,14 @@ type ATPGSpec struct {
 	// byte-identical at every worker count, so this only trades CPU for
 	// latency.
 	Workers int `json:"workers,omitempty"`
+	// Backends > 0 asks the service to fan the fault list out across
+	// its configured worker backends (servd -backend), sharded that
+	// many ways; it supersedes Workers for the run. Output stays
+	// byte-identical to local execution under every shard count,
+	// backend failure and work migration, so this too is purely a
+	// latency/robustness knob. Ignored when the service has no
+	// backends.
+	Backends int `json:"backends,omitempty"`
 }
 
 // Options resolves the spec against the library defaults.

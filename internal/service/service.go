@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/atpg"
+	"repro/internal/dispatch"
 	"repro/internal/failpoint"
 	"repro/internal/metrics"
 	"repro/internal/resultcache"
@@ -88,6 +89,17 @@ type Config struct {
 	// Open sweeps torn residue from it. Empty keeps the cache
 	// memory-only.
 	CacheDir string
+
+	// Backends lists worker base URLs (cmd/workerd) for distributed
+	// ATPG fan-out. Empty keeps every job local. A job opts in with
+	// ATPGSpec.Backends; results are byte-identical either way, so
+	// distribution is purely a latency/robustness knob.
+	Backends []string
+
+	// RetryJitterSeed seeds the PRNG that jitters recovery retry
+	// backoffs over [d/2, d] (0: seeded from the clock). A fixed seed
+	// makes backoff schedules reproducible in tests.
+	RetryJitterSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +153,8 @@ type Service struct {
 	wg    sync.WaitGroup
 	jrnl  *journal
 	cache *resultcache.Cache
+	disp  *dispatch.Dispatcher // nil without configured backends
+	jit   *dispatch.Jitter     // recovery retry backoff jitter
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -170,14 +184,26 @@ func New(cfg Config) *Service {
 func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	base, stop := context.WithCancel(context.Background())
+	seed := cfg.RetryJitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	s := &Service{
 		cfg:    cfg,
 		reg:    cfg.Metrics,
 		base:   base,
 		stop:   stop,
+		jit:    dispatch.NewJitter(seed),
 		jobs:   make(map[string]*Job),
 		timers: make(map[string]*time.Timer),
 		done:   make(chan struct{}),
+	}
+	if len(cfg.Backends) > 0 {
+		backends := make([]dispatch.Backend, 0, len(cfg.Backends))
+		for _, u := range cfg.Backends {
+			backends = append(backends, dispatch.NewHTTPBackend(u))
+		}
+		s.disp = dispatch.New(dispatch.Config{Backends: backends, Metrics: s.reg})
 	}
 
 	if cfg.CacheBytes >= 0 {
@@ -276,6 +302,9 @@ func (s *Service) recover(path string) (requeue []*Job, backoffs []time.Duration
 			if delay > s.cfg.RetryBackoffCap || delay <= 0 {
 				delay = s.cfg.RetryBackoffCap
 			}
+			// Jitter over [delay/2, delay]: recovered jobs that crashed
+			// together should not all re-fire on the same tick.
+			delay = s.jit.Spread(delay)
 		}
 		backoffs = append(backoffs, delay)
 	}
@@ -597,7 +626,7 @@ func (s *Service) retryEnqueue(j *Job) {
 		s.mu.Unlock()
 		s.reg.Gauge("queue.depth").Add(1)
 	default:
-		s.timers[j.id] = time.AfterFunc(s.cfg.RetryBackoff, func() { s.retryEnqueue(j) })
+		s.timers[j.id] = time.AfterFunc(s.jit.Spread(s.cfg.RetryBackoff), func() { s.retryEnqueue(j) })
 		s.mu.Unlock()
 	}
 }

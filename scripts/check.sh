@@ -34,6 +34,24 @@ echo "== go test -race -short (fault-sharded ATPG determinism + Theorem 1-4 meta
 # plain `go test ./...` tier-1 pass; drop -short here for a nightly run.
 go test -race -short -count=1 -run 'TestParallel|TestTheorem' ./internal/atpg/ ./internal/verify/
 
+echo "== go test -race (dispatch fan-out: retry ladder, migration, degrade, byte-identity at 1/2/4 backends)"
+# The distributed chaos gate: failpoint-driven {first-try success,
+# retry-then-success, migrate-after-kill, all-backends-down degrade},
+# each asserting byte-identity against serial atpg.Run, plus the HTTP
+# worker protocol (torn heartbeat, poisoned response, stuck backend).
+go test -race -count=1 ./internal/dispatch/ ./cmd/workerd/
+
+echo "== dispatch kill-a-worker smoke (real processes: servd + 2 workerd, SIGKILL one mid-run)"
+# Starts two workerd workers (one slowed via a failpoint sleep) and a
+# servd fronting both, submits a distributed ATPG job, kills the slow
+# worker dead mid-shard, and asserts the merged result is byte-identical
+# to an in-process serial reference run.
+smoketmp=$(mktemp -d)
+trap 'rm -rf "$smoketmp"' EXIT
+go build -o "$smoketmp/servd" ./cmd/servd
+go build -o "$smoketmp/workerd" ./cmd/workerd
+go run ./cmd/dispatchsmoke -servd "$smoketmp/servd" -workerd "$smoketmp/workerd"
+
 echo "== go test -race -short (checkpoint kill/resume chaos: crash anywhere, resume, byte-identical)"
 # -short samples 3 kill points per snapshot set and workers {1,4}; the
 # plain tier-1 pass (and a nightly run without -short) widens to up to
