@@ -7,14 +7,53 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/failpoint"
+	"repro/internal/httpmw"
+	"repro/internal/logger"
 	"repro/internal/service"
 )
+
+// fpSubmit lets chaos tests force the submit handler to fail or panic
+// (RETEST_FAILPOINTS="servd.submit=panic:boom") to prove Recovery keeps
+// the server alive.
+const fpSubmit = "servd.submit"
+
+// routePattern normalizes request paths to bounded route labels for
+// access logs and per-route histograms: concrete job IDs collapse to
+// {id}, profiler subpages collapse to one label.
+func routePattern(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(p, "/debug/pprof/"):
+		return "/debug/pprof/..."
+	}
+	return p
+}
+
+// apiHandler is the production handler: the API mux behind the full
+// middleware stack (panic recovery, request IDs, access log, per-route
+// histograms, body limit). Both serve() and the end-to-end tests mount
+// this, so tests exercise exactly what production runs.
+func apiHandler(svc *service.Service, draining *atomic.Bool, lg *logger.Logger, maxBody int64) http.Handler {
+	return httpmw.Stack(httpmw.Config{
+		Log:      lg,
+		Registry: svc.Metrics(),
+		Route:    routePattern,
+		MaxBody:  maxBody,
+	})(newHandler(svc, draining))
+}
 
 // newHandler routes the HTTP API onto a service instance. It is a
 // plain stdlib ServeMux so httptest can drive it directly.
 func newHandler(svc *service.Service, draining *atomic.Bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if err := failpoint.Inject(fpSubmit); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		var req service.Request
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -27,7 +66,7 @@ func newHandler(svc *service.Service, draining *atomic.Bool) http.Handler {
 			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
-		id, err := svc.Submit(req)
+		id, err := svc.SubmitWithRequestID(req, httpmw.IDFromContext(r.Context()))
 		switch {
 		case errors.Is(err, service.ErrQueueFull):
 			// Overload is transient back-pressure, not unavailability:

@@ -40,6 +40,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/httpmw"
+	"repro/internal/logger"
+	"repro/internal/metrics"
 	"repro/internal/service"
 )
 
@@ -58,7 +61,9 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "durable result cache directory (empty = memory-only cache)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
-	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); keep it loopback-only")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof and /v1/logs on this address (empty = off); keep it loopback-only")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logBuffer := fs.Int("log-buffer", logger.DefaultCapacity, "in-memory log ring capacity in records (rounded up to a power of two)")
 	var backends multiFlag
 	fs.Var(&backends, "backend", "worker backend base URL for distributed ATPG (repeatable, e.g. -backend http://127.0.0.1:9100)")
 	fs.Usage = func() {
@@ -72,6 +77,11 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	level, err := logger.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "servd:", err)
+		return 2
+	}
 	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -81,6 +91,11 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		CacheBytes:     *cacheBytes,
 		CacheDir:       *cacheDir,
 		Backends:       backends,
+		Logger:         logger.New(level, *logBuffer),
+		// One registry is shared by the middleware (per-route latency,
+		// in-flight, panics) and the service (job/stage counters), so
+		// GET /metrics reports both layers in a single document.
+		Metrics: metrics.NewRegistry(),
 	}
 	if err := serve(*addr, cfg, *drain, *maxBody, *pprofAddr, stdout); err != nil {
 		fmt.Fprintln(stderr, "servd:", err)
@@ -103,13 +118,13 @@ func (m *multiFlag) Set(v string) error {
 // it never exposes /debug/pprof/* on the public API address. It
 // returns the server (for Shutdown during drain) and the actual bound
 // address (addr may use :0).
-func startPprof(addr string, stdout io.Writer) (*http.Server, string, error) {
+func startPprof(addr string, handler http.Handler, stdout io.Writer) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("pprof listener: %w", err)
 	}
 	psrv := &http.Server{
-		Handler:           pprofMux(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -128,8 +143,16 @@ func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, 
 
 	var psrv *http.Server
 	if pprofAddr != "" {
+		// The private listener gets the same middleware chain as the
+		// API (no body limit: pprof's symbol endpoint posts its own
+		// small payloads), so profiler hits are logged and measured too.
+		private := httpmw.Stack(httpmw.Config{
+			Log:      cfg.Logger,
+			Registry: svc.Metrics(),
+			Route:    routePattern,
+		})(privateMux(cfg.Logger))
 		var actual string
-		psrv, actual, err = startPprof(pprofAddr, stdout)
+		psrv, actual, err = startPprof(pprofAddr, private, stdout)
 		if err != nil {
 			svc.Close()
 			return err
@@ -144,7 +167,7 @@ func serve(addr string, cfg service.Config, drain time.Duration, maxBody int64, 
 		return err
 	}
 	srv := &http.Server{
-		Handler: http.MaxBytesHandler(newHandler(svc, &draining), maxBody),
+		Handler: apiHandler(svc, &draining, cfg.Logger, maxBody),
 		// Slow-client limits: a peer trickling headers or a body, or
 		// parking idle keep-alive connections, cannot pin goroutines
 		// forever. Deliberately no WriteTimeout -- result payloads for

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/failpoint"
+	"repro/internal/httpmw"
+	"repro/internal/logger"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/service"
+)
+
+// startWorker runs an in-process worker behind the same middleware
+// stack cmd/workerd serves, with its own log ring mounted at /v1/logs,
+// standing in for a separate workerd process.
+func startWorker(t *testing.T) (*httptest.Server, *logger.Logger) {
+	t.Helper()
+	wlog := logger.New(logger.Debug, 512)
+	w := dispatch.NewWorker(dispatch.WorkerConfig{
+		MaxConcurrent: 2,
+		Metrics:       metrics.NewRegistry(),
+		Logger:        wlog,
+	})
+	t.Cleanup(w.Close)
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	mux.Handle("/v1/logs", wlog.TailHandler())
+	srv := httptest.NewServer(httpmw.Stack(httpmw.Config{Log: wlog, MaxBody: 64 << 20})(mux))
+	t.Cleanup(srv.Close)
+	return srv, wlog
+}
+
+// tailLogs fetches GET /v1/logs from a base URL and returns the record
+// messages.
+func tailLogs(t *testing.T, base string) []string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/logs status %d", resp.StatusCode)
+	}
+	var recs []struct {
+		Msg string `json:"msg"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]string, len(recs))
+	for i, r := range recs {
+		msgs[i] = r.Msg
+	}
+	return msgs
+}
+
+func anyContains(msgs []string, substrs ...string) bool {
+	for _, m := range msgs {
+		ok := true
+		for _, s := range substrs {
+			if !strings.Contains(m, s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestObservabilityEndToEnd drives the full acceptance path: a job
+// submitted to servd's production handler and dispatched to a worker
+// yields log records on both sides sharing one request ID, each
+// retrievable via GET /v1/logs, and /metrics exposes per-route latency
+// quantiles for the submit route.
+func TestObservabilityEndToEnd(t *testing.T) {
+	wsrv, _ := startWorker(t)
+
+	lg := logger.New(logger.Debug, 1024)
+	svc, err := service.Open(service.Config{
+		Workers:  2,
+		Metrics:  metrics.NewRegistry(),
+		Logger:   lg,
+		Backends: []string{wsrv.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+
+	var draining atomic.Bool
+	api := httptest.NewServer(apiHandler(svc, &draining, lg, 8<<20))
+	t.Cleanup(api.Close)
+	// The operator listener, as serve() wires it: profiler + log tail
+	// behind the same chain.
+	private := httptest.NewServer(httpmw.Stack(httpmw.Config{
+		Log: lg, Registry: svc.Metrics(), Route: routePattern,
+	})(privateMux(lg)))
+	t.Cleanup(private.Close)
+
+	// A mid-size random circuit so the ATPG job genuinely shards out to
+	// the backend instead of finishing degenerately.
+	rng := rand.New(rand.NewSource(11))
+	c := netlist.Random(rng, netlist.RandomParams{
+		Inputs: 5, Outputs: 4, Gates: 40, DFFs: 4, MaxFanin: 4,
+	})
+	body, err := json.Marshal(service.Request{
+		Kind:  service.KindATPG,
+		Bench: netlist.BenchString(c),
+		ATPG:  &service.ATPGSpec{MaxFrames: 8, MaxBacktracks: 100, MaxEvalsPerFault: 20000, Backends: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(api.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := resp.Header.Get(httpmw.Header)
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if !httpmw.ValidID(reqID) || len(reqID) != 26 {
+		t.Fatalf("submit response carries no generated request ID: %q", reqID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(api.URL + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v service.View
+		err = json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == service.StatusDone {
+			if v.RequestID != reqID {
+				t.Fatalf("job view RequestID = %q, want %q", v.RequestID, reqID)
+			}
+			break
+		}
+		if v.Status == service.StatusFailed {
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 30s", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both processes' log rings, fetched over their /v1/logs endpoints,
+	// must hold records tagged with the one request ID.
+	servdMsgs := tailLogs(t, private.URL)
+	if !anyContains(servdMsgs, "id="+reqID, "method=POST", "route=/v1/jobs", "status=202") {
+		t.Fatalf("servd ring lacks the tagged submit access line:\n%s", strings.Join(servdMsgs, "\n"))
+	}
+	if !anyContains(servdMsgs, "id="+reqID, "submitted") {
+		t.Fatalf("servd ring lacks the tagged job submission record:\n%s", strings.Join(servdMsgs, "\n"))
+	}
+	workerMsgs := tailLogs(t, wsrv.URL)
+	if !anyContains(workerMsgs, "id="+reqID, "shard=", "accepted") {
+		t.Fatalf("worker ring lacks a shard record tagged %s:\n%s", reqID, strings.Join(workerMsgs, "\n"))
+	}
+
+	// /metrics exposes per-route latency quantiles for the submit route.
+	mresp, err := http.Get(api.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(mbody, &doc); err != nil {
+		t.Fatalf("metrics is not a JSON object: %v\n%s", err, mbody)
+	}
+	raw, ok := doc["http.latency.POST /v1/jobs"]
+	if !ok {
+		t.Fatalf("metrics lacks the submit route histogram; keys:\n%s", mbody)
+	}
+	var hist struct {
+		Count int64 `json:"count"`
+		P50   int64 `json:"p50_ns"`
+		P95   int64 `json:"p95_ns"`
+		P99   int64 `json:"p99_ns"`
+	}
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count < 1 || hist.P50 <= 0 || hist.P95 < hist.P50 || hist.P99 < hist.P95 {
+		t.Fatalf("implausible submit-route quantiles: %+v", hist)
+	}
+}
+
+// TestSubmitPanicFailpointKeepsServing forces the submit handler to
+// panic via failpoint: the client gets a 500 carrying the request ID,
+// the panic is logged with that ID, and the server keeps serving.
+func TestSubmitPanicFailpointKeepsServing(t *testing.T) {
+	lg := logger.New(logger.Debug, 256)
+	svc, err := service.Open(service.Config{
+		Workers: 1,
+		Metrics: metrics.NewRegistry(),
+		Logger:  lg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	var draining atomic.Bool
+	api := httptest.NewServer(apiHandler(svc, &draining, lg, 8<<20))
+	t.Cleanup(api.Close)
+
+	failpoint.Enable(fpSubmit, failpoint.Panic("forced submit panic"))
+	defer failpoint.Disable(fpSubmit)
+
+	resp, err := http.Post(api.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking submit returned %d, want 500", resp.StatusCode)
+	}
+	reqID := resp.Header.Get(httpmw.Header)
+	if reqID == "" {
+		t.Fatal("500 response lost the request ID header")
+	}
+	if want := fmt.Sprintf("%q", reqID); !strings.Contains(string(body), want) {
+		t.Fatalf("500 body does not carry the request ID %s:\n%s", reqID, body)
+	}
+	if n := svc.Metrics().Counter("http.panics").Value(); n != 1 {
+		t.Fatalf("http.panics = %d, want 1", n)
+	}
+	if msgs := func() []string {
+		var out []string
+		for _, r := range lg.Tail(0) {
+			out = append(out, r.Msg)
+		}
+		return out
+	}(); !anyContains(msgs, "panic id="+reqID, "forced submit panic") {
+		t.Fatalf("log ring lacks the tagged panic record:\n%s", strings.Join(msgs, "\n"))
+	}
+
+	// The goroutine that served the panic is gone; the server is not.
+	failpoint.Disable(fpSubmit)
+	hresp, err := http.Get(api.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("server dead after handler panic: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", hresp.StatusCode)
+	}
+	c := netlist.Fig2C1()
+	body, err = json.Marshal(service.Request{Kind: service.KindRetime, Bench: netlist.BenchString(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(api.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after panic returned %d, want 202", resp2.StatusCode)
+	}
+}

@@ -3,6 +3,8 @@ package main
 import (
 	"net/http"
 	"net/http/pprof"
+
+	"repro/internal/logger"
 )
 
 // pprofMux builds the profiler handler on a private mux. The stdlib's
@@ -16,5 +18,14 @@ func pprofMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// privateMux is everything the operator-only listener serves: the
+// profiler plus the in-memory log tail. Like /debug/pprof/*, the log
+// tail can leak request internals, so it stays off the public address.
+func privateMux(lg *logger.Logger) *http.ServeMux {
+	mux := pprofMux()
+	mux.Handle("/v1/logs", lg.TailHandler())
 	return mux
 }

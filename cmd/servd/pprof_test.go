@@ -51,7 +51,7 @@ func TestPprofMux(t *testing.T) {
 // the port promptly (a fresh bind of the same address succeeds), so a
 // drained servd never holds -pprof-addr across a restart.
 func TestStartPprofShutdown(t *testing.T) {
-	psrv, addr, err := startPprof("127.0.0.1:0", io.Discard)
+	psrv, addr, err := startPprof("127.0.0.1:0", pprofMux(), io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

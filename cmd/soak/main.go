@@ -200,6 +200,7 @@ func run(ctx context.Context, duration time.Duration, submitters, workers int, s
 	fmt.Fprintf(stdout, "allocs: %.1f MiB total, %d objects, %.1f KiB/job, %d GC cycles\n",
 		float64(allocBytes)/(1<<20), allocObjs,
 		float64(allocBytes)/1024/float64(done+failed), memAfter.NumGC-memBefore.NumGC)
+	writeHistograms(stdout, reg)
 	if dumpMetrics {
 		if err := reg.WriteJSON(stdout); err != nil {
 			return err
@@ -207,4 +208,32 @@ func run(ctx context.Context, duration time.Duration, submitters, workers int, s
 		fmt.Fprintln(stdout)
 	}
 	return nil
+}
+
+// writeHistograms prints a quantile line for every histogram in the
+// registry (soak's own end-to-end latency plus the service's per-stage
+// timings), computed from the shared bucket snapshots -- the same
+// numbers servd publishes at /metrics.
+func writeHistograms(stdout io.Writer, reg *metrics.Registry) {
+	type row struct {
+		name string
+		snap metrics.HistogramSnapshot
+	}
+	var rows []row
+	reg.Do(func(name string, v metrics.Var) {
+		if h, ok := v.(*metrics.Histogram); ok && h.Count() > 0 {
+			rows = append(rows, row{name, h.Snapshot()})
+		}
+	})
+	if len(rows) == 0 {
+		return
+	}
+	slices.SortFunc(rows, func(a, b row) int { return strings.Compare(a.name, b.name) })
+	fmt.Fprintln(stdout, "histograms:")
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "  %-28s n=%-7d p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			r.name, r.snap.Count,
+			r.snap.P50.Round(time.Microsecond), r.snap.P95.Round(time.Microsecond),
+			r.snap.P99.Round(time.Microsecond), r.snap.Max.Round(time.Microsecond))
+	}
 }

@@ -11,6 +11,7 @@
 //	DELETE /v1/shards/{id}  cancel and forget a shard
 //	GET    /healthz         liveness probe
 //	GET    /metrics         worker counters as one JSON object
+//	GET    /v1/logs         tail of the in-memory log ring
 //
 // A worker holds no durable state: everything it computes is a pure
 // function of the submitted shard, re-runnable anywhere, so crash
@@ -32,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/httpmw"
+	"repro/internal/logger"
 	"repro/internal/metrics"
 )
 
@@ -43,8 +46,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", ":9100", "listen address (use :0 for an ephemeral port)")
 	slots := fs.Int("slots", 1, "concurrent shard slots")
 	every := fs.Int("checkpoint-every", 0, "default partial-checkpoint cadence in decided faults (0 = library default)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logBuffer := fs.Int("log-buffer", logger.DefaultCapacity, "in-memory log ring capacity in records (rounded up to a power of two)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: workerd [-addr :9100] [-slots n] [-checkpoint-every n]\n")
+		fmt.Fprintf(stderr, "usage: workerd [-addr :9100] [-slots n] [-checkpoint-every n] [-log-level info]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -54,25 +59,46 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := serve(*addr, *slots, *every, stdout); err != nil {
+	level, err := logger.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "workerd:", err)
+		return 2
+	}
+	if err := serve(*addr, *slots, *every, logger.New(level, *logBuffer), stdout); err != nil {
 		fmt.Fprintln(stderr, "workerd:", err)
 		return 1
 	}
 	return 0
 }
 
-func serve(addr string, slots, every int, stdout io.Writer) error {
+// buildHandler mounts the worker's shard API plus the log tail behind
+// the shared middleware chain. Shards arrive as whole circuits in the
+// request body, hence the generous 64 MiB limit.
+func buildHandler(w *dispatch.Worker, lg *logger.Logger, reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	mux.Handle("/v1/logs", lg.TailHandler())
+	return httpmw.Stack(httpmw.Config{
+		Log:      lg,
+		Registry: reg,
+		MaxBody:  64 << 20,
+	})(mux)
+}
+
+func serve(addr string, slots, every int, lg *logger.Logger, stdout io.Writer) error {
+	reg := metrics.NewRegistry()
 	w := dispatch.NewWorker(dispatch.WorkerConfig{
 		MaxConcurrent:   slots,
 		CheckpointEvery: every,
-		Metrics:         metrics.NewRegistry(),
+		Metrics:         reg,
+		Logger:          lg,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           http.MaxBytesHandler(w.Handler(), 64<<20),
+		Handler:           buildHandler(w, lg, reg),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/atpg"
+	"repro/internal/httpmw"
 	"repro/internal/netlist"
 )
 
@@ -100,6 +101,11 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, body, out any
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the originating request ID so the worker's access and
+	// shard-lifecycle logs correlate with the servd submission.
+	if id := httpmw.IDFromContext(ctx); id != "" {
+		req.Header.Set(httpmw.Header, id)
+	}
 	resp, err := b.c.Do(req)
 	if err != nil {
 		return err
@@ -164,7 +170,8 @@ func (b *HTTPBackend) Run(ctx context.Context, spec ShardSpec, progress Progress
 	// Best-effort cleanup so an abandoned attempt does not keep burning
 	// worker CPU; a fresh context because ctx may already be done.
 	defer func() {
-		dctx, cancel := context.WithTimeout(context.Background(), b.reqTimeout())
+		base := httpmw.ContextWithID(context.Background(), httpmw.IDFromContext(ctx))
+		dctx, cancel := context.WithTimeout(base, b.reqTimeout())
 		defer cancel()
 		b.do(dctx, http.MethodDelete, path, nil, nil) //nolint:errcheck
 	}()

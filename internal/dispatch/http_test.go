@@ -67,14 +67,15 @@ func TestWorkerDiesMidRun(t *testing.T) {
 	opt := testOptions()
 	want := atpg.Run(c, reps, opt)
 
-	var polls atomic.Int64
+	// Every poll fails: the attempt can never complete on this worker
+	// no matter how fast the shard itself finishes, so the migration
+	// path is exercised deterministically (a fast machine could finish
+	// the shard before a delayed "death" kicked in).
 	dying := newTestWorker(t, func(h http.Handler) http.Handler {
 		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 			if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/shards/") {
-				if polls.Add(1) > 1 {
-					http.Error(rw, "chaos: worker dead", http.StatusInternalServerError)
-					return
-				}
+				http.Error(rw, "chaos: worker dead", http.StatusInternalServerError)
+				return
 			}
 			h.ServeHTTP(rw, r)
 		})

@@ -1,9 +1,13 @@
 package dispatch
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"repro/internal/atpg"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/netlist"
 )
 
 // The shard protocol wire format, shared by HTTPBackend (client) and
@@ -116,6 +120,76 @@ type shardRequest struct {
 	// DeadlineMS bounds the shard's run on the worker (0 = none); the
 	// dispatcher enforces its own per-shard deadline regardless.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// shardWork is a fully decoded and validated shard submission, ready
+// to run. decodeShardRequest is the only path from untrusted bytes to
+// a shardWork, so everything past it can assume in-range fault sites
+// and an identity-checked resume checkpoint.
+type shardWork struct {
+	c          *netlist.Circuit
+	faults     []fault.Fault
+	opt        atpg.Options
+	resume     *atpg.Checkpoint
+	every      int
+	deadlineMS int64
+}
+
+// resumeLen reports how many decided faults the resume checkpoint
+// carries (0 when starting fresh).
+func (w *shardWork) resumeLen() int {
+	if w.resume == nil {
+		return 0
+	}
+	return len(w.resume.Decided)
+}
+
+// decodeShardRequest parses and validates one shard submission. Every
+// rejection is a clean error (the worker answers 400); in particular
+// each fault site is checked against the parsed circuit, so a hostile
+// or corrupted submission can never push an out-of-range node or pin
+// index into the ATPG engine running on a shared worker process.
+func decodeShardRequest(data []byte) (*shardWork, error) {
+	var req shardRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("bad request: %w", err)
+	}
+	c, err := netlist.ParseBenchString(req.Name, req.Bench)
+	if err != nil {
+		return nil, fmt.Errorf("bad circuit: %w", err)
+	}
+	if len(req.Fault) == 0 {
+		return nil, fmt.Errorf("empty shard")
+	}
+	faults := fromFaultWire(req.Fault)
+	for i, f := range faults {
+		if f.Node < 0 || f.Node >= len(c.Nodes) {
+			return nil, fmt.Errorf("fault %d: node %d out of range [0,%d)", i, f.Node, len(c.Nodes))
+		}
+		if f.Pin != fault.StemPin && (f.Pin < 0 || f.Pin >= len(c.Nodes[f.Node].Fanin)) {
+			return nil, fmt.Errorf("fault %d: pin %d out of range for node %d (%d fanins)",
+				i, f.Pin, f.Node, len(c.Nodes[f.Node].Fanin))
+		}
+		if !f.SA.Known() {
+			return nil, fmt.Errorf("fault %d: stuck-at value %d is not 0 or 1", i, uint8(f.SA))
+		}
+	}
+	opt := req.Opt.options()
+	w := &shardWork{c: c, faults: faults, opt: opt, every: req.CheckpointEvery, deadlineMS: req.DeadlineMS}
+	if len(req.Resume) > 0 {
+		ck, err := atpg.DecodeCheckpoint(req.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("bad resume checkpoint: %w", err)
+		}
+		// Identity-validate before accepting migrated work; replay in
+		// GenerateShard re-checks, but rejecting here keeps a poisoned
+		// migration from ever occupying the run slot.
+		if err := ck.Validate(c, faults, opt); err != nil {
+			return nil, fmt.Errorf("bad resume checkpoint: %w", err)
+		}
+		w.resume = ck
+	}
+	return w, nil
 }
 
 // Shard lifecycle states on the worker.

@@ -4,16 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 
 	"time"
 
 	"repro/internal/atpg"
-	"repro/internal/fault"
+	"repro/internal/httpmw"
+	"repro/internal/logger"
 	"repro/internal/metrics"
-	"repro/internal/netlist"
 )
 
 // Worker is the server side of the shard protocol -- the engine behind
@@ -26,6 +28,7 @@ type Worker struct {
 	sem             chan struct{}
 	checkpointEvery int
 	reg             *metrics.Registry
+	log             *logger.Logger
 
 	mu     sync.Mutex
 	closed bool
@@ -46,6 +49,11 @@ type WorkerConfig struct {
 	// Metrics receives worker.shards.{accepted,done,failed} counters
 	// when non-nil.
 	Metrics *metrics.Registry
+	// Logger, when non-nil, receives shard lifecycle records tagged
+	// with the originating request ID (propagated from servd via
+	// X-Request-Id), so a worker's logs correlate with the submission
+	// that caused the work.
+	Logger *logger.Logger
 }
 
 type workerShard struct {
@@ -68,6 +76,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		sem:             make(chan struct{}, n),
 		checkpointEvery: cfg.CheckpointEvery,
 		reg:             cfg.Metrics,
+		log:             cfg.Logger,
 		shards:          make(map[string]*workerShard),
 	}
 }
@@ -130,44 +139,23 @@ func (w *Worker) Handler() http.Handler {
 }
 
 func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
-	var req shardRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
 		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	c, err := netlist.ParseBenchString(req.Name, req.Bench)
+	work, err := decodeShardRequest(data)
 	if err != nil {
-		http.Error(rw, "bad circuit: "+err.Error(), http.StatusBadRequest)
+		w.log.Warnf("id=%s shard rejected: %v", httpmw.IDFromContext(r.Context()), err)
+		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
-	}
-	faults := fromFaultWire(req.Fault)
-	if len(faults) == 0 {
-		http.Error(rw, "empty shard", http.StatusBadRequest)
-		return
-	}
-	opt := req.Opt.options()
-	var resume *atpg.Checkpoint
-	if len(req.Resume) > 0 {
-		ck, err := atpg.DecodeCheckpoint(req.Resume)
-		if err != nil {
-			http.Error(rw, "bad resume checkpoint: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		// Identity-validate before accepting migrated work; replay in
-		// GenerateShard re-checks, but rejecting here keeps a poisoned
-		// migration from ever occupying the run slot.
-		if err := ck.Validate(c, faults, opt); err != nil {
-			http.Error(rw, "bad resume checkpoint: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		resume = ck
 	}
 
 	sh := &workerShard{state: shardStateQueued}
 	var ctx context.Context
 	var cancel context.CancelFunc
-	if req.DeadlineMS > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(req.DeadlineMS)*time.Millisecond)
+	if work.deadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(work.deadlineMS)*time.Millisecond)
 	} else {
 		ctx, cancel = context.WithCancel(context.Background())
 	}
@@ -186,11 +174,13 @@ func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Unlock()
 	w.count("worker.shards.accepted")
 
-	every := req.CheckpointEvery
-	if every <= 0 {
-		every = w.checkpointEvery
+	if work.every <= 0 {
+		work.every = w.checkpointEvery
 	}
-	go w.run(ctx, sh, c, faults, opt, resume, every)
+	reqID := httpmw.IDFromContext(r.Context())
+	w.log.Infof("id=%s shard=%s accepted circuit=%s faults=%d resume=%d",
+		reqID, id, work.c.Name, len(work.faults), work.resumeLen())
+	go w.run(ctx, sh, id, reqID, work)
 
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(http.StatusAccepted)
@@ -198,9 +188,18 @@ func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
 }
 
 // run executes one shard: wait for a slot, generate, publish the final
-// (or failure-point partial) checkpoint.
-func (w *Worker) run(ctx context.Context, sh *workerShard, c *netlist.Circuit,
-	faults []fault.Fault, opt atpg.Options, resume *atpg.Checkpoint, every int) {
+// (or failure-point partial) checkpoint. A panic anywhere inside the
+// engine is caught here and recorded as a shard failure -- a poisoned
+// shard must never take down the worker process and the other shards
+// it is running.
+func (w *Worker) run(ctx context.Context, sh *workerShard, id, reqID string, work *shardWork) {
+	defer func() {
+		if v := recover(); v != nil {
+			w.log.Errorf("id=%s shard=%s panic: %v\n%s", reqID, id, v, debug.Stack())
+			sh.fail(fmt.Sprintf("panic: %v", v))
+			w.count("worker.shards.failed")
+		}
+	}()
 	select {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
@@ -212,21 +211,24 @@ func (w *Worker) run(ctx context.Context, sh *workerShard, c *netlist.Circuit,
 	sh.mu.Lock()
 	sh.state = shardStateRunning
 	sh.mu.Unlock()
+	w.log.Debugf("id=%s shard=%s running", reqID, id)
 
+	opt := work.opt
 	opt.Workers = 0
 	opt.Checkpoint = atpg.CheckpointConfig{
-		Every:      every,
-		ResumeFrom: resume,
+		Every:      work.every,
+		ResumeFrom: work.resume,
 		OnWrite: func(ck *atpg.Checkpoint, _ error) {
 			// Snapshot the live log through the canonical encoding; the
 			// poll handler serves these bytes verbatim.
 			sh.publish(ck.Encode(), len(ck.Decided))
 		},
 	}
-	decided, err := atpg.GenerateShard(ctx, c, faults, opt)
-	final := atpg.ShardCheckpoint(c, faults, opt, decided)
+	decided, err := atpg.GenerateShard(ctx, work.c, work.faults, opt)
+	final := atpg.ShardCheckpoint(work.c, work.faults, opt, decided)
 	sh.publish(final.Encode(), len(decided))
 	if err != nil {
+		w.log.Warnf("id=%s shard=%s failed: %v", reqID, id, err)
 		sh.fail(err.Error())
 		w.count("worker.shards.failed")
 		return
@@ -234,6 +236,7 @@ func (w *Worker) run(ctx context.Context, sh *workerShard, c *netlist.Circuit,
 	sh.mu.Lock()
 	sh.state = shardStateDone
 	sh.mu.Unlock()
+	w.log.Infof("id=%s shard=%s done decided=%d", reqID, id, len(decided))
 	w.count("worker.shards.done")
 }
 

@@ -1,0 +1,267 @@
+// Package httpmw is the composable HTTP middleware chain shared by
+// cmd/servd and cmd/workerd: request-ID injection/propagation,
+// structured access logging into the internal/logger ring, panic
+// recovery that never kills the server, per-route latency histograms
+// with an in-flight gauge in the internal/metrics registry, and a body
+// limit replacing the old ad-hoc 413 wrapping.
+//
+// Stack composes them in the one canonical order (Recovery outermost,
+// so a panic anywhere inside — including in another middleware — is
+// caught; BodyLimit innermost, so even the access log sees oversized
+// requests). Every middleware tolerates a nil logger/registry, so
+// tests and tools can mount any subset.
+package httpmw
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/logger"
+	"repro/internal/metrics"
+)
+
+// Middleware wraps an http.Handler.
+type Middleware func(http.Handler) http.Handler
+
+// Chain composes middleware so the first argument is outermost:
+// Chain(a, b)(h) serves a(b(h)).
+func Chain(mw ...Middleware) Middleware {
+	return func(h http.Handler) http.Handler {
+		for i := len(mw) - 1; i >= 0; i-- {
+			h = mw[i](h)
+		}
+		return h
+	}
+}
+
+// Config selects what Stack wires up.
+type Config struct {
+	Log      *logger.Logger
+	Registry *metrics.Registry
+	// Route normalizes a request to its route pattern for logs and
+	// histogram names (e.g. "/v1/jobs/abc" -> "/v1/jobs/{id}"), keeping
+	// metric cardinality bounded. nil falls back to the raw path.
+	Route func(*http.Request) string
+	// MaxBody > 0 bounds request bodies (413 past the limit).
+	MaxBody int64
+}
+
+// Stack is the canonical chain: Recovery > RequestID > AccessLog >
+// Metrics > BodyLimit > handler.
+func Stack(cfg Config) Middleware {
+	mw := []Middleware{
+		Recovery(cfg.Log, cfg.Registry),
+		RequestID(),
+		AccessLog(cfg.Log, cfg.Route),
+		Metrics(cfg.Registry, cfg.Route),
+	}
+	if cfg.MaxBody > 0 {
+		mw = append(mw, BodyLimit(cfg.MaxBody))
+	}
+	return Chain(mw...)
+}
+
+// RequestID injects or propagates X-Request-Id: a valid inbound ID is
+// reused (so workerd shard logs carry the originating servd ID), an
+// absent or malformed one is replaced with a fresh ULID. The ID is set
+// on the response header before the handler runs — that is what lets
+// the outermost Recovery middleware report it — and on the request
+// context for handlers and backend calls.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(Header)
+			if !ValidID(id) {
+				id = NewID()
+			}
+			w.Header().Set(Header, id)
+			next.ServeHTTP(w, r.WithContext(ContextWithID(r.Context(), id)))
+		})
+	}
+}
+
+// AccessLog emits one structured line per request:
+//
+//	id=<id> method=<M> route=<route> status=<n> bytes=<n> dur=<d>
+//
+// at Info (2xx/3xx), Warn (4xx) or Error (5xx). A request whose
+// handler panics is still logged (status 500) — the deferred emit runs
+// without recovering, so the panic continues to Recovery with its
+// stack intact.
+func AccessLog(log *logger.Logger, route func(*http.Request) string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !log.Enabled(logger.Info) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			completed := false
+			emit := func() {
+				status := sw.status
+				if !completed {
+					status = http.StatusInternalServerError
+				} else if status == 0 {
+					status = http.StatusOK
+				}
+				lv := logger.Info
+				switch {
+				case status >= 500:
+					lv = logger.Error
+				case status >= 400:
+					lv = logger.Warn
+				}
+				log.Logf(lv, "id=%s method=%s route=%s status=%d bytes=%d dur=%s",
+					IDFromContext(r.Context()), r.Method, routeOf(route, r),
+					status, sw.bytes, time.Since(start).Round(time.Microsecond))
+			}
+			defer func() {
+				if !completed {
+					emit() // panicking: log as 500, let the panic continue
+				}
+			}()
+			next.ServeHTTP(sw, r)
+			completed = true
+			emit()
+		})
+	}
+}
+
+// Recovery catches handler panics, logs the stack, counts them on the
+// registry ("http.panics") and answers 500 with the request ID — the
+// server keeps serving. http.ErrAbortHandler is re-panicked (it is the
+// sanctioned way to abort a response and is handled by net/http).
+// Recovery must be outermost so nothing above it can die.
+func Recovery(log *logger.Logger, reg *metrics.Registry) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			pw := &panicWriter{ResponseWriter: w}
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				// RequestID runs inside Recovery, so the ID is not on
+				// this context — but RequestID set it on the response
+				// header before the handler ran.
+				id := w.Header().Get(Header)
+				log.Errorf("panic id=%s %s %s: %v\n%s", id, r.Method, r.URL.Path, v, debug.Stack())
+				if reg != nil {
+					reg.Counter("http.panics").Inc()
+				}
+				if !pw.wrote {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusInternalServerError)
+					fmt.Fprintf(w, "{\"error\":\"internal server error\",\"request_id\":%q}\n", id)
+				}
+			}()
+			next.ServeHTTP(pw, r)
+		})
+	}
+}
+
+// Metrics tracks an in-flight gauge ("http.in_flight") and a per-route
+// latency histogram ("http.latency.<METHOD> <route>") on the shared
+// registry. The deferred observe runs even when the handler panics, so
+// the gauge cannot leak.
+func Metrics(reg *metrics.Registry, route func(*http.Request) string) Middleware {
+	return func(next http.Handler) http.Handler {
+		if reg == nil {
+			return next
+		}
+		inflight := reg.Gauge("http.in_flight")
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			name := "http.latency." + r.Method + " " + routeOf(route, r)
+			inflight.Add(1)
+			start := time.Now()
+			defer func() {
+				reg.Histogram(name).Observe(time.Since(start))
+				inflight.Add(-1)
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// BodyLimit bounds request bodies at n bytes; an oversized body makes
+// the handler's read fail with *http.MaxBytesError, which the handlers
+// (and http.MaxBytesHandler's writer) turn into 413 — byte-for-byte
+// the behavior of the old ad-hoc http.MaxBytesHandler wrapping, now a
+// chain link.
+func BodyLimit(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.MaxBytesHandler(next, n)
+	}
+}
+
+func routeOf(route func(*http.Request) string, r *http.Request) string {
+	if route != nil {
+		if s := route(r); s != "" {
+			return s
+		}
+	}
+	return r.URL.Path
+}
+
+// statusWriter captures status and byte count for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// panicWriter tracks whether anything was written, so Recovery only
+// writes its 500 when the response is still untouched.
+type panicWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *panicWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *panicWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *panicWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *panicWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,585 @@
+package httpmw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/logger"
+	"repro/internal/metrics"
+)
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	tag := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(tag("a"), tag("b"), tag("c"))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "h")
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got := strings.Join(order, ""); got != "abch" {
+		t.Fatalf("chain order = %q, want abch (first arg outermost)", got)
+	}
+	// Empty chain is the identity.
+	order = nil
+	Chain()(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "h")
+	})).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(order) != 1 {
+		t.Fatal("empty Chain lost the handler")
+	}
+}
+
+func TestNewID(t *testing.T) {
+	const n = 1000
+	ids := make([]string, n)
+	seen := make(map[string]bool, n)
+	for i := range ids {
+		id := NewID()
+		if len(id) != 26 {
+			t.Fatalf("NewID() = %q: len %d, want 26", id, len(id))
+		}
+		if !ValidID(id) {
+			t.Fatalf("NewID() = %q fails ValidID", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+		ids[i] = id
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatal("IDs minted in sequence are not lexicographically monotonic")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	cases := []struct {
+		id   string
+		want bool
+	}{
+		{"abc-123_X.z", true},
+		{"A", true},
+		{strings.Repeat("x", 64), true},
+		{strings.Repeat("x", 65), false},
+		{"", false},
+		{"has space", false},
+		{"newline\n", false},
+		{"quote\"", false},
+		{"unicode-é", false},
+	}
+	for _, c := range cases {
+		if got := ValidID(c.id); got != c.want {
+			t.Errorf("ValidID(%q) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	cases := []struct {
+		name    string
+		inbound string
+		reused  bool
+	}{
+		{"absent generates", "", false},
+		{"valid propagates", "upstream-id-42", true},
+		{"malformed replaced", "bad id with spaces", false},
+		{"oversized replaced", strings.Repeat("z", 65), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var ctxID string
+			h := RequestID()(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				ctxID = IDFromContext(r.Context())
+			}))
+			req := httptest.NewRequest("GET", "/x", nil)
+			if c.inbound != "" {
+				req.Header.Set(Header, c.inbound)
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			got := rr.Header().Get(Header)
+			if got == "" || got != ctxID {
+				t.Fatalf("header id %q != context id %q (or empty)", got, ctxID)
+			}
+			if c.reused && got != c.inbound {
+				t.Errorf("valid inbound id %q replaced with %q", c.inbound, got)
+			}
+			if !c.reused && got == c.inbound {
+				t.Errorf("invalid inbound id %q echoed back", c.inbound)
+			}
+			if !ValidID(got) {
+				t.Errorf("resulting id %q invalid", got)
+			}
+		})
+	}
+}
+
+// accessLogLine matches the documented structured format exactly — the
+// golden-format gate for dashboards and grep recipes built on it.
+var accessLogLine = regexp.MustCompile(
+	`^id=[0-9A-Za-z._-]+ method=[A-Z]+ route=\S+ status=\d{3} bytes=\d+ dur=[0-9.]+(ns|µs|ms|s)$`)
+
+func TestAccessLogGoldenFormat(t *testing.T) {
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		handler   http.HandlerFunc
+		wantLevel logger.Level
+		wantParts []string
+	}{
+		{
+			name:   "implicit 200 with body",
+			method: "GET", path: "/v1/jobs/abc",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				io.WriteString(w, "hello")
+			},
+			wantLevel: logger.Info,
+			wantParts: []string{"method=GET", "route=/v1/jobs/{id}", "status=200", "bytes=5"},
+		},
+		{
+			name:   "explicit 404 warns",
+			method: "DELETE", path: "/v1/jobs/zzz",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "no such job", http.StatusNotFound)
+			},
+			wantLevel: logger.Warn,
+			wantParts: []string{"method=DELETE", "status=404"},
+		},
+		{
+			name:   "500 is an error line",
+			method: "POST", path: "/v1/jobs",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusInternalServerError)
+			},
+			wantLevel: logger.Error,
+			wantParts: []string{"status=500", "bytes=0"},
+		},
+	}
+	route := func(r *http.Request) string {
+		if strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			return "/v1/jobs/{id}"
+		}
+		return r.URL.Path
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			log := logger.New(logger.Debug, 16)
+			h := Chain(RequestID(), AccessLog(log, route))(c.handler)
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(c.method, c.path, nil))
+			recs := log.Tail(0)
+			if len(recs) != 1 {
+				t.Fatalf("got %d log records, want 1: %+v", len(recs), recs)
+			}
+			line := recs[0].Msg
+			if !accessLogLine.MatchString(line) {
+				t.Errorf("line %q does not match golden format %v", line, accessLogLine)
+			}
+			if recs[0].Level != c.wantLevel {
+				t.Errorf("level = %v, want %v (line %q)", recs[0].Level, c.wantLevel, line)
+			}
+			for _, part := range c.wantParts {
+				if !strings.Contains(line, part) {
+					t.Errorf("line %q missing %q", line, part)
+				}
+			}
+		})
+	}
+}
+
+func TestAccessLogDisabledLevelSkipsWork(t *testing.T) {
+	log := logger.New(logger.Error, 16) // Info lines are filtered
+	h := AccessLog(log, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if recs := log.Tail(0); len(recs) != 0 {
+		t.Fatalf("expected no records at min level Error, got %+v", recs)
+	}
+}
+
+func TestRecoveryCatchesPanicAndServerKeepsServing(t *testing.T) {
+	log := logger.New(logger.Debug, 64)
+	reg := metrics.NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "fine")
+	})
+	h := Stack(Config{Log: log, Registry: reg})(mux)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("panic status = %d, want 500", resp.StatusCode)
+	}
+	id := resp.Header.Get(Header)
+	if id == "" {
+		t.Fatal("500 response missing X-Request-Id")
+	}
+	if !strings.Contains(string(body), id) {
+		t.Errorf("500 body %q does not carry request id %q", body, id)
+	}
+	if got := reg.Counter("http.panics").Value(); got != 1 {
+		t.Errorf("http.panics = %d, want 1", got)
+	}
+	// The panic must be logged with a stack, tagged with the same id.
+	var foundPanic, foundAccess bool
+	for _, rec := range log.Tail(0) {
+		if strings.Contains(rec.Msg, "panic id="+id) && strings.Contains(rec.Msg, "kaboom") {
+			foundPanic = true
+			if !strings.Contains(rec.Msg, "goroutine") {
+				t.Error("panic record has no stack trace")
+			}
+		}
+		if strings.Contains(rec.Msg, "id="+id+" ") && strings.Contains(rec.Msg, "status=500") {
+			foundAccess = true
+		}
+	}
+	if !foundPanic {
+		t.Error("no panic record in the ring")
+	}
+	if !foundAccess {
+		t.Error("panicking request has no access-log line (want status=500)")
+	}
+
+	// The server must keep serving after the panic.
+	resp, err = http.Get(srv.URL + "/ok")
+	if err != nil {
+		t.Fatalf("GET /ok after panic: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "fine" {
+		t.Fatalf("after panic: %d %q, want 200 fine", resp.StatusCode, body)
+	}
+}
+
+func TestRecoveryRepanicsErrAbortHandler(t *testing.T) {
+	h := Recovery(nil, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was swallowed; net/http needs it re-panicked")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	t.Fatal("unreachable: panic expected")
+}
+
+func TestRecoveryAfterPartialWrite(t *testing.T) {
+	// If the handler already wrote, Recovery must not stomp a second
+	// status line on top.
+	h := Recovery(nil, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		io.WriteString(w, "partial")
+		panic("late panic")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusAccepted || rr.Body.String() != "partial" {
+		t.Fatalf("recovery overwrote an in-flight response: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestMetricsPerRouteHistogramAndInFlight(t *testing.T) {
+	reg := metrics.NewRegistry()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := Metrics(reg, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/jobs")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	if got := reg.Gauge("http.in_flight").Value(); got != 1 {
+		t.Errorf("in-flight during request = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	if got := reg.Gauge("http.in_flight").Value(); got != 0 {
+		t.Errorf("in-flight after request = %d, want 0", got)
+	}
+	hist := reg.Histogram("http.latency.GET /v1/jobs")
+	if hist.Count() != 1 {
+		t.Fatalf("route histogram count = %d, want 1", hist.Count())
+	}
+}
+
+func TestMetricsGaugeSurvivesPanic(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := Chain(Recovery(nil, reg), Metrics(reg, nil))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("die mid-flight")
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if got := reg.Gauge("http.in_flight").Value(); got != 0 {
+		t.Fatalf("in-flight leaked to %d after a panic", got)
+	}
+	if got := reg.Histogram("http.latency.GET /x").Count(); got != 1 {
+		t.Fatalf("latency not observed for panicking request: count %d", got)
+	}
+}
+
+// TestBodyLimitParity pins BodyLimit against the old ad-hoc
+// http.MaxBytesHandler wrapping: identical status and behavior on both
+// sides of the limit.
+func TestBodyLimitParity(t *testing.T) {
+	echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			// Same translation servd's submit handler does.
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "%d", len(body))
+	})
+	const limit = 1 << 10
+	oldStyle := httptest.NewServer(http.MaxBytesHandler(echo, limit))
+	defer oldStyle.Close()
+	newStyle := httptest.NewServer(BodyLimit(limit)(echo))
+	defer newStyle.Close()
+
+	for _, size := range []int{0, 1, limit, limit + 1, 4 * limit} {
+		body := strings.Repeat("x", size)
+		var codes [2]int
+		var bodies [2]string
+		for i, srv := range []*httptest.Server{oldStyle, newStyle} {
+			resp, err := http.Post(srv.URL, "text/plain", strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			codes[i], bodies[i] = resp.StatusCode, string(b)
+		}
+		if codes[0] != codes[1] || bodies[0] != bodies[1] {
+			t.Errorf("size %d: old (%d %q) != new (%d %q)",
+				size, codes[0], bodies[0], codes[1], bodies[1])
+		}
+		wantCode := 200
+		if size > limit {
+			wantCode = 413
+		}
+		if codes[1] != wantCode {
+			t.Errorf("size %d: status %d, want %d", size, codes[1], wantCode)
+		}
+	}
+}
+
+// TestStackOrdering proves the canonical Stack order end to end:
+// Recovery sees panics raised inside AccessLog/Metrics territory, the
+// access line carries the request id minted by RequestID, and the body
+// limit is innermost (an oversized request still gets an access line).
+func TestStackOrdering(t *testing.T) {
+	log := logger.New(logger.Debug, 64)
+	reg := metrics.NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.ReadAll(r.Body); err != nil {
+			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	srv := httptest.NewServer(Stack(Config{Log: log, Registry: reg, MaxBody: 64})(mux))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(strings.Repeat("x", 1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	id := resp.Header.Get(Header)
+	if id == "" {
+		t.Fatal("413 response missing request id")
+	}
+	var found bool
+	for _, rec := range log.Tail(0) {
+		if strings.Contains(rec.Msg, "id="+id+" ") && strings.Contains(rec.Msg, "status=413") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no access line with id=%s status=413 in %+v", id, log.Tail(0))
+	}
+	if got := reg.Histogram("http.latency.POST /v1/jobs").Count(); got != 1 {
+		t.Fatalf("route histogram count = %d, want 1", got)
+	}
+}
+
+// TestIDPropagationAcrossHop simulates the servd -> workerd hop: a
+// client hits the front server, whose handler calls the back server
+// with the id from its context; both access logs must share the id.
+func TestIDPropagationAcrossHop(t *testing.T) {
+	backLog := logger.New(logger.Debug, 16)
+	back := httptest.NewServer(Stack(Config{Log: backLog})(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})))
+	defer back.Close()
+
+	frontLog := logger.New(logger.Debug, 16)
+	front := httptest.NewServer(Stack(Config{Log: frontLog})(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			req, _ := http.NewRequestWithContext(r.Context(), "GET", back.URL+"/v1/shards/s1", nil)
+			if id := IDFromContext(r.Context()); id != "" {
+				req.Header.Set(Header, id)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			resp.Body.Close()
+			w.WriteHeader(http.StatusOK)
+		})))
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/jobs/j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get(Header)
+	if id == "" {
+		t.Fatal("front response missing request id")
+	}
+	for name, lg := range map[string]*logger.Logger{"front": frontLog, "back": backLog} {
+		var found bool
+		for _, rec := range lg.Tail(0) {
+			if strings.Contains(rec.Msg, "id="+id+" ") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s log has no line with id=%s: %+v", name, id, lg.Tail(0))
+		}
+	}
+}
+
+// TestConcurrentRequestsUnderFullStack hammers the full stack with
+// panicking and healthy handlers concurrently — the -race gate for the
+// middleware itself.
+func TestConcurrentRequestsUnderFullStack(t *testing.T) {
+	log := logger.New(logger.Debug, 256)
+	reg := metrics.NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) { panic("concurrent boom") })
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "ok") })
+	srv := httptest.NewServer(Stack(Config{Log: log, Registry: reg, MaxBody: 1 << 20})(mux))
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			path := "/ok"
+			want := 200
+			if c%2 == 0 {
+				path, want = "/panic", 500
+			}
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != want {
+					t.Errorf("client %d: status %d, want %d", c, resp.StatusCode, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := reg.Gauge("http.in_flight").Value(); got != 0 {
+		t.Errorf("in-flight after storm = %d, want 0", got)
+	}
+	if got := reg.Counter("http.panics").Value(); got != 4*20 {
+		t.Errorf("http.panics = %d, want %d", got, 4*20)
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := ContextWithID(context.Background(), "abc")
+	if got := IDFromContext(ctx); got != "abc" {
+		t.Errorf("IDFromContext = %q, want abc", got)
+	}
+	if got := IDFromContext(context.Background()); got != "" {
+		t.Errorf("IDFromContext on bare ctx = %q, want empty", got)
+	}
+	if ctx2 := ContextWithID(ctx, ""); IDFromContext(ctx2) != "abc" {
+		t.Error("ContextWithID with empty id should keep the existing one")
+	}
+}
+
+func TestNewIDConcurrentUnique(t *testing.T) {
+	const goroutines, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[string]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, NewID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate concurrent ID %q", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}

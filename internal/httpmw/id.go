@@ -1,0 +1,103 @@
+package httpmw
+
+import (
+	"context"
+	"crypto/rand"
+	"sync"
+	"time"
+)
+
+// Header is the request-ID header injected by RequestID and propagated
+// by dispatch.HTTPBackend on every shard call, so one ID ties a servd
+// submission to the workerd shards it fans out to.
+const Header = "X-Request-Id"
+
+type ctxKey struct{}
+
+// ContextWithID returns ctx carrying a request ID.
+func ContextWithID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// IDFromContext returns the request ID carried by ctx, or "".
+func IDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// ULID-style IDs: 48-bit millisecond timestamp + 80-bit entropy,
+// Crockford base32, 26 characters, lexicographically sortable by time.
+// Within one millisecond the entropy increments monotonically, so IDs
+// minted by one process never collide and always sort in mint order.
+
+const crockford = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+var idState struct {
+	sync.Mutex
+	ms      uint64
+	entropy [10]byte
+}
+
+// NewID mints a fresh ULID-style request ID.
+func NewID() string {
+	now := uint64(time.Now().UnixMilli())
+
+	idState.Lock()
+	if now == idState.ms {
+		// Same millisecond: increment the 80-bit entropy so IDs stay
+		// monotonic. Overflow (2^80 IDs in 1ms) is unreachable.
+		for i := len(idState.entropy) - 1; i >= 0; i-- {
+			idState.entropy[i]++
+			if idState.entropy[i] != 0 {
+				break
+			}
+		}
+	} else {
+		idState.ms = now
+		rand.Read(idState.entropy[:])
+	}
+	ms := idState.ms
+	ent := idState.entropy
+	idState.Unlock()
+
+	// 48-bit time + 80-bit entropy = 128 bits -> 26 base32 chars
+	// (10 time chars, 16 entropy chars; the top char carries 3 bits).
+	var out [26]byte
+	for i := 0; i < 10; i++ {
+		out[i] = crockford[(ms>>(45-5*uint(i)))&0x1f]
+	}
+	// Entropy: 80 bits as 16 chars.
+	for i := 0; i < 16; i++ {
+		bit := uint(i * 5)
+		byteIdx := bit / 8
+		shift := 11 - (bit % 8)
+		v := uint16(ent[byteIdx]) << 8
+		if byteIdx+1 < 10 {
+			v |= uint16(ent[byteIdx+1])
+		}
+		out[10+i] = crockford[(v>>shift)&0x1f]
+	}
+	return string(out[:])
+}
+
+// ValidID reports whether an inbound X-Request-Id is acceptable to
+// propagate: 1-64 characters drawn from [0-9A-Za-z._-]. Anything else
+// is replaced with a fresh ID rather than echoed into logs.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -117,13 +117,95 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation inside the containing bucket, clamped
+// to the observed max so a single-sample histogram reports that sample
+// exactly at every quantile. Empty histograms return 0. The buckets
+// are read without a lock, so under concurrent Observe the estimate is
+// a consistent-enough snapshot, not an instant in time — the same
+// contract as every other read in this package.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	var counts [numHistBounds + 1]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	max := h.max.Load()
+	// Rank of the target observation, 1-based: ceil(q * total), at
+	// least 1 so q=0 lands on the first observation.
+	target := int64(q * float64(total))
+	if float64(target) < q*float64(total) || target == 0 {
+		target++
+	}
+	var cum, lo int64
+	for i, c := range counts {
+		if cum+c < target {
+			cum += c
+			if i < numHistBounds {
+				lo = histBounds[i]
+			}
+			continue
+		}
+		hi := max
+		if i < numHistBounds && histBounds[i] < max {
+			hi = histBounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Interpolate the target's position within this bucket.
+		est := lo + (hi-lo)*(target-cum)/c
+		if est > max {
+			est = max
+		}
+		return time.Duration(est)
+	}
+	return time.Duration(max)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot captures count/sum/max/mean and the p50/p95/p99 quantile
+// estimates in one call — what cmd/soak and /metrics render.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
 // String renders the histogram as a JSON object (expvar.Var): count,
-// sum/max/mean in nanoseconds, and one cumulative-free bucket count per
-// upper bound ("le" rendered in time.Duration notation, "+Inf" last).
+// sum/max/mean and p50/p95/p99 in nanoseconds, and one cumulative-free
+// bucket count per upper bound ("le" rendered in time.Duration
+// notation, "+Inf" last).
 func (h *Histogram) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, `{"count":%d,"sum_ns":%d,"max_ns":%d,"mean_ns":%d,"buckets":{`,
-		h.Count(), h.sum.Load(), h.max.Load(), int64(h.Mean()))
+	fmt.Fprintf(&sb, `{"count":%d,"sum_ns":%d,"max_ns":%d,"mean_ns":%d,"p50_ns":%d,"p95_ns":%d,"p99_ns":%d,"buckets":{`,
+		h.Count(), h.sum.Load(), h.max.Load(), int64(h.Mean()),
+		int64(h.Quantile(0.50)), int64(h.Quantile(0.95)), int64(h.Quantile(0.99)))
 	for i := range h.buckets {
 		if i > 0 {
 			sb.WriteByte(',')

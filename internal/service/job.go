@@ -242,9 +242,12 @@ type DeriveResult struct {
 // Job is one unit of work tracked by the store. Fields are guarded by
 // mu; readers take a View snapshot.
 type Job struct {
-	mu       sync.Mutex
-	id       string
-	req      Request
+	mu  sync.Mutex
+	id  string
+	req Request
+	// reqID is the HTTP request ID that carried the submission; it
+	// tags the job's log records and backend shard calls end to end.
+	reqID    string
 	status   Status
 	err      string
 	result   *Result
@@ -292,6 +295,9 @@ type View struct {
 	// concurrent identical submission's single flight).
 	CacheKey string `json:"cache_key,omitempty"`
 	Cache    string `json:"cache,omitempty"`
+	// RequestID is the HTTP request ID that submitted the job; grep
+	// either process's /v1/logs for it to follow the job end to end.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // View snapshots the job.
@@ -299,15 +305,16 @@ func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID:       j.id,
-		Kind:     j.req.Kind,
-		Status:   j.status,
-		Error:    j.err,
-		Result:   j.result,
-		Created:  j.created,
-		Attempt:  j.attempt,
-		CacheKey: j.cacheKey,
-		Cache:    j.cacheSrc,
+		ID:        j.id,
+		Kind:      j.req.Kind,
+		Status:    j.status,
+		Error:     j.err,
+		Result:    j.result,
+		Created:   j.created,
+		Attempt:   j.attempt,
+		CacheKey:  j.cacheKey,
+		Cache:     j.cacheSrc,
+		RequestID: j.reqID,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -59,6 +59,9 @@ type journalEntry struct {
 	Req     *Request  `json:"req,omitempty"`
 	Result  *Result   `json:"result,omitempty"`
 	Error   string    `json:"error,omitempty"`
+	// ReqID is the HTTP request ID that carried the submission (submit
+	// events only), so recovered jobs keep their log correlation.
+	ReqID string `json:"req_id,omitempty"`
 }
 
 // journal owns the append file. Appends are serialized by mu so entries
@@ -117,6 +120,7 @@ func (j *journal) Close() error {
 type replayedJob struct {
 	ID      string
 	Req     *Request
+	ReqID   string // originating HTTP request ID, from the submit event
 	Status  Status // StatusQueued marks an in-flight job to re-queue
 	Result  *Result
 	Error   string
@@ -158,7 +162,7 @@ func replayJournal(r io.Reader) (jobs []*replayedJob, maxID int64, skipped int) 
 				skipped++ // event for a job whose submit never survived
 				continue
 			}
-			j = &replayedJob{ID: e.ID, Req: e.Req, Status: StatusQueued, Created: e.Time}
+			j = &replayedJob{ID: e.ID, Req: e.Req, ReqID: e.ReqID, Status: StatusQueued, Created: e.Time}
 			byID[e.ID] = j
 			jobs = append(jobs, j)
 			continue

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/logger"
+	"repro/internal/netlist"
+)
+
+// TestRequestIDOnViewAndLog: a tagged submission surfaces its request
+// ID in the job view and in the service's ring-buffer log records.
+func TestRequestIDOnViewAndLog(t *testing.T) {
+	log := logger.New(logger.Debug, 64)
+	s := newTestService(t, Config{Workers: 1, Logger: log})
+	c := netlist.Fig2C1()
+	id, err := s.SubmitWithRequestID(Request{Kind: KindRetime, Bench: netlist.BenchString(c)}, "req-test-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, s, id)
+	if v.Status != StatusDone {
+		t.Fatalf("status %s, error %q", v.Status, v.Error)
+	}
+	if v.RequestID != "req-test-7" {
+		t.Fatalf("View.RequestID = %q, want req-test-7", v.RequestID)
+	}
+	var submitted, finished bool
+	for _, rec := range log.Tail(0) {
+		if strings.Contains(rec.Msg, "id=req-test-7 job="+id) {
+			if strings.Contains(rec.Msg, "submitted") {
+				submitted = true
+			}
+			if strings.Contains(rec.Msg, string(StatusDone)) {
+				finished = true
+			}
+		}
+	}
+	if !submitted || !finished {
+		t.Fatalf("ring is missing tagged lifecycle records (submitted=%v finished=%v):\n%+v",
+			submitted, finished, log.Tail(0))
+	}
+	// Plain Submit stays untagged.
+	id2, err := s.Submit(Request{Kind: KindRetime, Bench: netlist.BenchString(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, s, id2); v.RequestID != "" {
+		t.Fatalf("untagged submission has RequestID %q", v.RequestID)
+	}
+}
+
+// TestRequestIDSurvivesJournalReplay: the request ID is journaled with
+// the submit event and restored by recovery, so a crash does not break
+// log correlation for jobs that outlive the process.
+func TestRequestIDSurvivesJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	c := netlist.Fig2C1()
+
+	s := newTestService(t, Config{Workers: 1, JournalPath: jpath})
+	id, err := s.SubmitWithRequestID(Request{Kind: KindRetime, Bench: netlist.BenchString(c)}, "req-replay-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, id)
+	s.Close()
+
+	s2 := newTestService(t, Config{Workers: 1, JournalPath: jpath})
+	v, err := s2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.RequestID != "req-replay-1" {
+		t.Fatalf("replayed View.RequestID = %q, want req-replay-1", v.RequestID)
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/dispatch"
 	"repro/internal/failpoint"
+	"repro/internal/httpmw"
+	"repro/internal/logger"
 	"repro/internal/metrics"
 	"repro/internal/resultcache"
 )
@@ -100,6 +102,12 @@ type Config struct {
 	// backoffs over [d/2, d] (0: seeded from the clock). A fixed seed
 	// makes backoff schedules reproducible in tests.
 	RetryJitterSeed int64
+
+	// Logger, when non-nil, receives job lifecycle records tagged with
+	// the originating HTTP request ID (see SubmitWithRequestID) and the
+	// dispatcher's retry/migration notes, so a distributed job's whole
+	// story is greppable by one ID across servd and its workers.
+	Logger *logger.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +155,7 @@ var errRetryAbandoned = errors.New("service: shut down before recovered job re-r
 type Service struct {
 	cfg   Config
 	reg   *metrics.Registry
+	log   *logger.Logger // nil-safe; records job lifecycle by request ID
 	base  context.Context
 	stop  context.CancelFunc
 	queue chan *Job
@@ -191,6 +200,7 @@ func Open(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:    cfg,
 		reg:    cfg.Metrics,
+		log:    cfg.Logger,
 		base:   base,
 		stop:   stop,
 		jit:    dispatch.NewJitter(seed),
@@ -203,7 +213,12 @@ func Open(cfg Config) (*Service, error) {
 		for _, u := range cfg.Backends {
 			backends = append(backends, dispatch.NewHTTPBackend(u))
 		}
-		s.disp = dispatch.New(dispatch.Config{Backends: backends, Metrics: s.reg})
+		dcfg := dispatch.Config{Backends: backends, Metrics: s.reg}
+		if s.log != nil {
+			// Dispatcher retry/migration notes land in the ring at Info.
+			dcfg.Logf = s.log.Infof
+		}
+		s.disp = dispatch.New(dcfg)
 	}
 
 	if cfg.CacheBytes >= 0 {
@@ -278,6 +293,7 @@ func (s *Service) recover(path string) (requeue []*Job, backoffs []time.Duration
 		j := &Job{
 			id:      r.ID,
 			req:     *r.Req,
+			reqID:   r.ReqID,
 			status:  r.Status,
 			err:     r.Error,
 			result:  r.Result,
@@ -419,6 +435,16 @@ func (s *Service) Metrics() *metrics.Registry { return s.reg }
 // with ErrQueueFull when the queue is at capacity and ErrClosed after
 // Close.
 func (s *Service) Submit(req Request) (string, error) {
+	return s.SubmitWithRequestID(req, "")
+}
+
+// SubmitWithRequestID is Submit tagged with the HTTP request ID that
+// carried the submission. The ID is journaled with the job (so it
+// survives recovery), shown in job views, and threaded through the
+// job's context into dispatch backend calls -- a shard's worker-side
+// logs carry the same ID as the servd access line that accepted the
+// job.
+func (s *Service) SubmitWithRequestID(req Request, reqID string) (string, error) {
 	if err := req.Validate(); err != nil {
 		return "", err
 	}
@@ -431,6 +457,7 @@ func (s *Service) Submit(req Request) (string, error) {
 	j := &Job{
 		id:      fmt.Sprintf("job-%06d", s.nextID),
 		req:     req,
+		reqID:   reqID,
 		status:  StatusQueued,
 		created: time.Now(),
 	}
@@ -443,7 +470,8 @@ func (s *Service) Submit(req Request) (string, error) {
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
-	s.journalAppend(journalEntry{Event: evSubmit, ID: j.id, Req: &j.req})
+	s.journalAppend(journalEntry{Event: evSubmit, ID: j.id, Req: &j.req, ReqID: reqID})
+	s.log.Infof("id=%s job=%s submitted kind=%s", reqID, j.id, req.Kind)
 	s.reg.Counter("jobs.submitted." + string(req.Kind)).Inc()
 	s.reg.Gauge("queue.depth").Add(1)
 	return j.id, nil
@@ -651,7 +679,9 @@ func (s *Service) runJob(j *Job) {
 	if j.req.TimeoutMS > 0 {
 		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(s.base, timeout)
+	// The request ID rides the job context so dispatch backend calls
+	// stamp it on their shard submissions.
+	ctx, cancel := context.WithTimeout(httpmw.ContextWithID(s.base, j.reqID), timeout)
 	defer cancel()
 
 	if !j.begin(cancel) {
@@ -660,6 +690,7 @@ func (s *Service) runJob(j *Job) {
 		return
 	}
 	s.journalAppend(journalEntry{Event: evStart, ID: j.id, Attempt: j.attempt})
+	s.log.Debugf("id=%s job=%s attempt=%d started", j.reqID, j.id, j.attempt)
 	s.reg.Gauge("workers.busy").Add(1)
 	defer s.reg.Gauge("workers.busy").Add(-1)
 
@@ -714,6 +745,11 @@ func (s *Service) finishJob(j *Job, res *Result, err error) {
 	// checkpoint (if any) is dead weight.
 	s.removeCheckpoint(j.id)
 	s.reg.Histogram("jobs.latency." + kind).Observe(dur)
+	lv := logger.Info
+	if status == StatusFailed {
+		lv = logger.Warn
+	}
+	s.log.Logf(lv, "id=%s job=%s %s dur=%s", j.reqID, j.id, status, dur.Round(time.Microsecond))
 }
 
 // journalAppend best-effort commits a lifecycle transition. Journal

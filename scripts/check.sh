@@ -19,7 +19,7 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race (concurrency-heavy packages, fail fast)"
-go test -race -count=1 ./internal/fsim/... ./internal/service/... ./internal/failpoint/... ./cmd/servd/... ./internal/resultcache/...
+go test -race -count=1 ./internal/fsim/... ./internal/service/... ./internal/failpoint/... ./cmd/servd/... ./internal/resultcache/... ./internal/httpmw/... ./internal/logger/... ./internal/metrics/...
 
 echo "== go test -race (result cache: hit/miss byte-identity, corrupt-entry discard, single-flight)"
 # The cache round-trip gate: a repeat submission is served byte-identical
@@ -67,6 +67,23 @@ echo "== alloc-regression gate (steady-state Simulate must stay allocation-free)
 # live in internal/fsim/alloc_test.go (0 serial, O(workers) parallel).
 go test -count=1 -run 'TestSimulateSteadyStateAllocs|TestSimulateParallelSteadyStateAllocs' -v ./internal/fsim/ | grep -E '^(=== RUN|--- (PASS|FAIL|SKIP)|ok|FAIL)'
 
+echo "== alloc-regression gate (log ring: <= 1 alloc per record, 0 with a prebuilt string)"
+# Same -race caveat; the budget lives in internal/logger/logger_test.go.
+go test -count=1 -run 'TestLogSteadyStateAllocs' -v ./internal/logger/ | grep -E '^(=== RUN|--- (PASS|FAIL|SKIP)|ok|FAIL)'
+
+echo "== coverage floor (httpmw + logger must stay >= 90% covered)"
+# The middleware and log ring sit on every request path of both
+# daemons; the hardening pass that introduced them came with a full
+# table-driven suite, and this gate keeps later edits honest.
+go test -count=1 -cover ./internal/httpmw/ ./internal/logger/ | awk '
+    /coverage:/ {
+        pct = 0
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%.*/, "", $i); pct = $i }
+        printf "%-24s %s%%\n", $2, pct
+        if (pct + 0 < 90) { bad = 1 }
+    }
+    END { if (bad) { print "coverage below 90% floor" > "/dev/stderr"; exit 1 } }'
+
 echo "== soak smoke (concurrent mixed-kind jobs through one in-process service)"
 go run ./cmd/soak -duration 2s -submitters 2
 
@@ -84,5 +101,8 @@ go test -run='^$' -fuzz=FuzzCheckpointRestore -fuzztime=5s ./internal/atpg/
 
 echo "== fuzz smoke (cache entry decoder: arbitrary bytes -> typed error or canonical round-trip)"
 go test -run='^$' -fuzz=FuzzCacheEntryDecode -fuzztime=5s ./internal/resultcache/
+
+echo "== fuzz smoke (shard wire decoder: hostile shard JSON -> clean 400 or validated round-trip)"
+go test -run='^$' -fuzz=FuzzShardWireDecode -fuzztime=5s ./internal/dispatch/
 
 echo "check.sh: all green"
