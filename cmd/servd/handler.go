@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/failpoint"
 	"repro/internal/httpmw"
@@ -71,8 +73,11 @@ func newHandler(svc *service.Service, draining *atomic.Bool) http.Handler {
 		case errors.Is(err, service.ErrQueueFull):
 			// Overload is transient back-pressure, not unavailability:
 			// 429 plus a Retry-After hint tells well-behaved clients to
-			// pace themselves instead of giving up.
-			w.Header().Set("Retry-After", "1")
+			// pace themselves instead of giving up. The hint is computed
+			// from live queue depth and observed p95 job latency, so a
+			// deep backlog of slow jobs pushes clients further out than a
+			// momentary blip.
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(svc.RetryAfter()/time.Second), 10))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, service.ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err.Error())

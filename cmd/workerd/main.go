@@ -9,7 +9,8 @@
 //	                        checkpoint so the dispatcher can migrate
 //	                        this worker's work if it dies
 //	DELETE /v1/shards/{id}  cancel and forget a shard
-//	GET    /healthz         liveness probe
+//	GET    /healthz         readiness probe: 200 "ok" while serving,
+//	                        503 "draining" once SIGTERM drain begins
 //	GET    /metrics         worker counters as one JSON object
 //	GET    /v1/logs         tail of the in-memory log ring
 //
@@ -116,6 +117,10 @@ func serve(addr string, slots, every int, lg *logger.Logger, stdout io.Writer) e
 		w.Close()
 		return err
 	case <-ctx.Done():
+		// Readiness flips before the listener closes: probes see 503
+		// "draining" immediately, so the dispatcher stops picking this
+		// worker while its in-flight shards finish under the budget.
+		w.StartDraining()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shutCtx)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,39 @@ import (
 	"repro/internal/logger"
 	"repro/internal/metrics"
 )
+
+// TestWorkerHealthzDraining: readiness-vs-liveness for workerd,
+// matching servd's behavior -- /healthz answers 200 "ok" while
+// serving and flips to 503 "draining" once the SIGTERM drain begins
+// (serve calls StartDraining before shutting the listener down), so
+// the dispatcher's health checks stop routing new shards to a worker
+// on its way out while its in-flight shards finish.
+func TestWorkerHealthzDraining(t *testing.T) {
+	lg := logger.New(logger.Warn, 16)
+	reg := metrics.NewRegistry()
+	w := dispatch.NewWorker(dispatch.WorkerConfig{MaxConcurrent: 1, Metrics: reg, Logger: lg})
+	t.Cleanup(w.Close)
+	srv := httptest.NewServer(buildHandler(w, lg, reg))
+	t.Cleanup(srv.Close)
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("live healthz = %d %q, want 200 \"ok\"", code, body)
+	}
+	w.StartDraining()
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("draining healthz = %d %q, want 503 \"draining\"", code, body)
+	}
+}
 
 // TestBuildHandlerObservability: the worker's production handler
 // echoes (or mints) X-Request-Id, logs rejected shards as tagged

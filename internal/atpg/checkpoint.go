@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/failpoint"
 	"repro/internal/fault"
+	"repro/internal/iofault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/sim"
@@ -50,6 +51,11 @@ const (
 	FailpointCheckpointAfterTmp    = "atpg.checkpoint.after-tmp"
 	FailpointCheckpointAfterWrite  = "atpg.checkpoint.after-write"
 )
+
+// CheckpointIOFaultSite names this package's iofault site: chaos tests
+// arm iofault.Point(CheckpointIOFaultSite, op) to fail checkpoint
+// opens, writes, syncs, renames or reads with ENOSPC/EIO/torn writes.
+const CheckpointIOFaultSite = "checkpoint"
 
 // Checkpoint decode/validate errors. Decode failures wrap
 // ErrCheckpointCorrupt or ErrCheckpointVersion; Validate failures wrap
@@ -296,16 +302,18 @@ func (ck *Checkpoint) writeFile(path string, syncDir bool) error {
 	}
 	data := ck.Encode()
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := iofault.OpenFile(CheckpointIOFaultSite, tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
+		os.Remove(tmp) // a failed write leaves torn bytes; keep only Path pristine
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -314,7 +322,7 @@ func (ck *Checkpoint) writeFile(path string, syncDir bool) error {
 	if err := failpoint.Inject(FailpointCheckpointAfterTmp); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := iofault.Rename(CheckpointIOFaultSite, tmp, path); err != nil {
 		return err
 	}
 	// Best-effort: make the rename itself durable.
@@ -332,7 +340,7 @@ func (ck *Checkpoint) writeFile(path string, syncDir bool) error {
 // anything unreadable wraps ErrCheckpointCorrupt or
 // ErrCheckpointVersion.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
+	data, err := iofault.ReadFile(CheckpointIOFaultSite, path)
 	if err != nil {
 		return nil, err
 	}
@@ -341,12 +349,16 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 
 // TryResume loads the checkpoint at opt.Checkpoint.Path, validates it
 // against this run, and installs it as opt.Checkpoint.ResumeFrom. A
-// missing file is a clean fresh start (false, nil). A file that exists
-// but cannot be used -- torn, corrupt, wrong version, or from a
+// missing file is a clean fresh start (false, nil). A file whose
+// content cannot be used -- torn, corrupt, wrong version, or from a
 // different run -- is deleted along with any .tmp residue so it can
 // never wedge a retry loop, and the reason is returned (false, err):
-// the run proceeds cleanly from scratch. It is a no-op when no path is
-// configured or a ResumeFrom is already installed.
+// the run proceeds cleanly from scratch. A plain read IO error (EIO, a
+// permission flap) also proceeds from scratch but leaves the file
+// intact: the bytes on disk may be a perfectly good checkpoint a later
+// attempt can still use, and a transient device error must never
+// destroy it. No-op when no path is configured or a ResumeFrom is
+// already installed.
 func TryResume(opt *Options, c *netlist.Circuit, faults []fault.Fault) (resumed bool, discarded error) {
 	path := opt.Checkpoint.Path
 	if path == "" || opt.Checkpoint.ResumeFrom != nil {
@@ -363,8 +375,10 @@ func TryResume(opt *Options, c *netlist.Circuit, faults []fault.Fault) (resumed 
 		if errors.Is(err, os.ErrNotExist) {
 			return false, nil
 		}
-		os.Remove(path)
-		os.Remove(path + ".tmp")
+		if isCheckpointErr(err) {
+			os.Remove(path)
+			os.Remove(path + ".tmp")
+		}
 		return report(false, err)
 	}
 	if err := ck.Validate(c, faults, *opt); err != nil {
@@ -389,13 +403,30 @@ func isCheckpointErr(err error) bool {
 // ckWriter accumulates the decision log during a run and emits
 // checkpoints on cadence. Nil is a valid receiver (checkpointing off).
 // It lives on the generator goroutine only.
+//
+// Write failures never stop the run -- they only degrade durability --
+// but a full disk would otherwise be hammered with a doomed
+// encode+write every cadence period. After a failed emit the writer
+// backs off exponentially (skip 1 cadence period, then 2, 4, ...,
+// capped at ckMaxCooldown), re-attempting when the cooldown expires;
+// any success resets it. The final flush always attempts regardless,
+// so a disk that recovers by run end still gets the complete log, and
+// an emit that fails partway can never corrupt the previous complete
+// checkpoint at Path (writes go through tmp+rename).
 type ckWriter struct {
 	cfg       CheckpointConfig
 	every     int
 	ck        *Checkpoint
-	since     int  // decided entries since the last emit
+	since     int  // decided entries since the last emit attempt window
+	persisted int  // log entries covered by the last successful emit
 	dirSynced bool // directory entry made durable by a prior emit
+	failures  int  // consecutive failed emits
+	cooldown  int  // cadence periods left to skip before retrying
 }
+
+// ckMaxCooldown caps the write-failure backoff at this many cadence
+// periods between retries.
+const ckMaxCooldown = 32
 
 // newCkWriter returns nil unless the options ask for checkpoints.
 func newCkWriter(c *netlist.Circuit, faults []fault.Fault, opt Options) *ckWriter {
@@ -421,30 +452,38 @@ func (w *ckWriter) setRandomDone(n int) {
 func (w *ckWriter) replayed(d DecidedFault) {
 	if w != nil {
 		w.ck.Decided = append(w.ck.Decided, d)
+		w.persisted++
 	}
 }
 
-// decided appends a freshly decided fault and flushes on cadence.
+// decided appends a freshly decided fault and flushes on cadence,
+// honoring the failure cooldown.
 func (w *ckWriter) decided(d DecidedFault) {
 	if w == nil {
 		return
 	}
 	w.ck.Decided = append(w.ck.Decided, d)
 	if w.since++; w.since >= w.every {
+		w.since = 0
+		if w.cooldown > 0 {
+			w.cooldown--
+			return
+		}
 		w.emit()
 	}
 }
 
 // final flushes the tail of the log when the run ends for any reason --
-// completion, cancellation (SIGINT), or failure.
+// completion, cancellation (SIGINT), or failure. It ignores any
+// cooldown: this is the last chance to persist the full log.
 func (w *ckWriter) final() {
-	if w != nil && w.since > 0 {
+	if w != nil && len(w.ck.Decided) > w.persisted {
 		w.emit()
 	}
 }
 
 // emit writes the checkpoint (write failures degrade durability, never
-// the run) and reports it to OnWrite.
+// the run), arms or resets the backoff, and reports to OnWrite.
 func (w *ckWriter) emit() {
 	w.since = 0
 	var err error
@@ -453,6 +492,16 @@ func (w *ckWriter) emit() {
 		if err == nil {
 			w.dirSynced = true
 		}
+	}
+	if err != nil {
+		w.failures++
+		w.cooldown = 1 << (w.failures - 1)
+		if w.failures > 5 || w.cooldown > ckMaxCooldown {
+			w.cooldown = ckMaxCooldown
+		}
+	} else {
+		w.failures, w.cooldown = 0, 0
+		w.persisted = len(w.ck.Decided)
 	}
 	if w.cfg.OnWrite != nil {
 		w.cfg.OnWrite(w.ck, err)

@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"time"
 
@@ -29,6 +30,11 @@ type Worker struct {
 	checkpointEvery int
 	reg             *metrics.Registry
 	log             *logger.Logger
+
+	// draining flips when graceful shutdown begins; /healthz then
+	// answers 503 "draining" so the dispatcher's health checks stop
+	// routing new shards here while in-flight ones finish.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	closed bool
@@ -87,6 +93,15 @@ func (w *Worker) count(name string) {
 	}
 }
 
+// StartDraining flips the health probe to 503 "draining": readiness
+// ends before liveness does, matching servd's shutdown sequence, so a
+// worker leaving the fleet stops attracting shards while the ones it
+// holds run to completion. Submissions are still accepted until Close
+// -- the dispatcher may race one in -- but probes steer new work away.
+func (w *Worker) StartDraining() {
+	w.draining.Store(true)
+}
+
 // Close cancels every in-flight shard and rejects new submissions.
 func (w *Worker) Close() {
 	w.mu.Lock()
@@ -107,6 +122,11 @@ func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if w.draining.Load() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "draining")
+			return
+		}
 		fmt.Fprintln(rw, "ok")
 	})
 	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {

@@ -11,9 +11,11 @@
 //	RETEST_FAILPOINTS="stage.atpg=error:boom;journal.write=sleep:50ms"
 //
 // arms stage.atpg with an error action and journal.write with a 50ms
-// delay. Supported env actions are error:<msg>, panic:<msg> and
-// sleep:<duration>; unparsable entries are ignored (the registry must
-// never take a process down by itself).
+// delay. Supported env actions are error:<msg>, panic:<msg>,
+// sleep:<duration>, and the bare IO-fault kinds enospc / eio (for the
+// iofault points, so a shell can fill a disk under one durability path);
+// unparsable entries are ignored (the registry must never take a
+// process down by itself).
 package failpoint
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -131,6 +134,10 @@ func parseEnv() {
 				continue
 			}
 			f = Sleep(d)
+		case "enospc":
+			f = Err(syscall.ENOSPC)
+		case "eio":
+			f = Err(syscall.EIO)
 		default:
 			continue
 		}

@@ -2,6 +2,7 @@ package failpoint
 
 import (
 	"errors"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -76,4 +77,16 @@ func TestParseEnvForgiving(t *testing.T) {
 		Inject("c")
 		t.Error("env-armed panic point did not fire")
 	}()
+}
+
+func TestParseEnvIOFaultKinds(t *testing.T) {
+	t.Cleanup(DisableAll)
+	t.Setenv(EnvVar, "iofault.journal.write=enospc;iofault.cache.read=eio")
+	parseEnv()
+	if err := Inject("iofault.journal.write"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("enospc kind inject = %v, want ENOSPC", err)
+	}
+	if err := Inject("iofault.cache.read"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("eio kind inject = %v, want EIO", err)
+	}
 }

@@ -1,0 +1,171 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+func TestPointNaming(t *testing.T) {
+	if got := Point("journal", OpWrite); got != "iofault.journal.write" {
+		t.Fatalf("Point = %q", got)
+	}
+}
+
+// TestUninstrumentedRoundTrip: with nothing armed, the wrappers behave
+// exactly like the os package — open, write, sync, rename, read.
+func TestUninstrumentedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "x.tmp")
+	final := filepath.Join(dir, "x")
+
+	f, err := OpenFile("test", tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != tmp {
+		t.Fatalf("Name = %q, want %q", f.Name(), tmp)
+	}
+	if n, err := f.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename("test", tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile("test", final)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := WriteFile("test", final, []byte("bye"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err = os.ReadFile(final)
+	if err != nil || string(b) != "bye" {
+		t.Fatalf("after WriteFile: %q, %v", b, err)
+	}
+}
+
+// TestInjectedFaults: each op consults its own point and only that
+// point; armed ENOSPC/EIO surface through errors.Is.
+func TestInjectedFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("seed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		op     string
+		action func() error
+		want   error
+		run    func() error
+	}{
+		{OpOpen, NoSpace(), ErrNoSpace, func() error {
+			_, err := OpenFile("t", path, os.O_WRONLY, 0o644)
+			return err
+		}},
+		{OpWrite, NoSpace(), ErrNoSpace, func() error {
+			return WriteFile("t", path, []byte("zz"), 0o644)
+		}},
+		{OpSync, IOError(), ErrIO, func() error {
+			f, err := OpenFile("t", path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return f.Sync()
+		}},
+		{OpRename, IOError(), ErrIO, func() error {
+			return Rename("t", path, path+".moved")
+		}},
+		{OpRead, IOError(), ErrIO, func() error {
+			_, err := ReadFile("t", path)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.op, func(t *testing.T) {
+			failpoint.Enable(Point("t", tc.op), tc.action)
+			defer failpoint.DisableAll()
+			if err := tc.run(); !errors.Is(err, tc.want) {
+				t.Fatalf("op %s: err = %v, want %v", tc.op, err, tc.want)
+			}
+		})
+	}
+	// The fault was site-scoped: another site stays healthy.
+	failpoint.Enable(Point("other", OpRead), IOError())
+	defer failpoint.DisableAll()
+	if _, err := ReadFile("t", path); err != nil {
+		t.Fatalf("cross-site leak: %v", err)
+	}
+}
+
+// TestPartialWriteTears: an armed PartialWrite persists exactly N bytes
+// to the real file, then fails with the wrapped error.
+func TestPartialWriteTears(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	failpoint.Enable(Point("t", OpWrite), PartialWrite(3, nil))
+	defer failpoint.DisableAll()
+
+	err := WriteFile("t", path, []byte("abcdef"), 0o644)
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("torn write err = %v, want EIO", err)
+	}
+	var pw *PartialWriteError
+	if !errors.As(err, &pw) || pw.N != 3 {
+		t.Fatalf("err = %#v, want PartialWriteError{N:3}", err)
+	}
+	if !strings.Contains(pw.Error(), "torn write after 3 bytes") {
+		t.Fatalf("Error() = %q", pw.Error())
+	}
+	b, rerr := os.ReadFile(path)
+	if rerr != nil || string(b) != "abc" {
+		t.Fatalf("on-disk after tear = %q, %v; want %q", b, rerr, "abc")
+	}
+}
+
+// TestPartialWriteClamps: N beyond the buffer writes the whole buffer;
+// negative N writes nothing. Either way the armed error surfaces.
+func TestPartialWriteClamps(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		n    int
+		want string
+	}{
+		{"beyond", 99, "abcdef"},
+		{"negative", -1, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			failpoint.Enable(Point("t", OpWrite), PartialWrite(tc.n, ErrNoSpace))
+			defer failpoint.DisableAll()
+			if err := WriteFile("t", path, []byte("abcdef"), 0o644); !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("err = %v, want ENOSPC", err)
+			}
+			b, _ := os.ReadFile(path)
+			if string(b) != tc.want {
+				t.Fatalf("on-disk = %q, want %q", b, tc.want)
+			}
+		})
+	}
+}
+
+// TestOpenRealError: a genuine os failure (missing directory) comes
+// back unchanged, not masked by the wrapper.
+func TestOpenRealError(t *testing.T) {
+	if _, err := OpenFile("t", filepath.Join(t.TempDir(), "no", "dir", "f"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -165,6 +166,16 @@ type Config struct {
 	// singleflight_shared,...} counters; a private registry is created
 	// when nil.
 	Metrics *metrics.Registry
+	// DiskFailThreshold is the number of consecutive disk IO errors
+	// that opens the disk tier's circuit breaker (default 3): the cache
+	// runs memory-only until a probe succeeds.
+	DiskFailThreshold int
+	// DiskProbeEvery is how often one IO attempt is let through while
+	// the breaker is open (default 5s).
+	DiskProbeEvery time.Duration
+	// Logf, when set, receives breaker transition records (tier
+	// disabled / recovered). The job service wires its logger's Warnf.
+	Logf func(format string, args ...any)
 }
 
 // Cache is a sharded, byte-bounded, single-flight result cache. All
@@ -225,7 +236,18 @@ func New(cfg Config) *Cache {
 		c.shards[i].maxBytes = maxBytes / int64(n)
 	}
 	if cfg.Dir != "" {
-		c.store = &diskStore{dir: cfg.Dir, reg: reg}
+		threshold := cfg.DiskFailThreshold
+		if threshold <= 0 {
+			threshold = defaultDiskFailThreshold
+		}
+		probe := cfg.DiskProbeEvery
+		if probe <= 0 {
+			probe = defaultDiskProbeEvery
+		}
+		c.store = &diskStore{
+			dir: cfg.Dir, reg: reg, logf: cfg.Logf,
+			threshold: threshold, probeEvery: probe,
+		}
 	}
 	return c
 }
@@ -265,14 +287,14 @@ func (c *Cache) Get(k Key) (payload []byte, src Source, ok bool) {
 }
 
 // Put stores the payload under the key in the memory tier and, when
-// configured, the disk store. The payload must not be mutated by the
-// caller afterwards (it is returned by reference on hits).
+// configured, the disk store (which counts its own failures as
+// cache.disk_errors and may be breaker-disabled). The payload must not
+// be mutated by the caller afterwards (it is returned by reference on
+// hits).
 func (c *Cache) Put(k Key, payload []byte) {
 	c.insert(k, payload)
 	if c.store != nil {
-		if err := c.store.save(k, payload); err != nil {
-			c.reg.Counter("cache.disk_errors").Inc()
-		}
+		c.store.save(k, payload)
 	}
 	c.reg.Counter("cache.stores").Inc()
 }

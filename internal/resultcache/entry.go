@@ -6,8 +6,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/metrics"
+)
+
+// DiskIOFaultSite names the disk tier's iofault site: chaos tests arm
+// iofault.Point(DiskIOFaultSite, op) to fail entry reads and atomic
+// writes with ENOSPC/EIO/torn writes.
+const DiskIOFaultSite = "cache"
+
+// Disk-tier circuit breaker defaults (Config.DiskFailThreshold /
+// DiskProbeEvery override them).
+const (
+	defaultDiskFailThreshold = 3
+	defaultDiskProbeEvery    = 5 * time.Second
 )
 
 // On-disk entry format, after the ATPG checkpoint pattern: a canonical
@@ -115,9 +130,27 @@ func uvarintLen(v uint64) int {
 
 // diskStore is the durable tier: one entry file per key under dir,
 // written atomically and validated (or discarded) on every load.
+//
+// A circuit breaker guards every IO attempt: after threshold
+// consecutive IO errors (reads and writes both count; a missing entry
+// file does not) the tier disables itself -- the memory tier and the
+// engines keep answering, loads miss, saves are skipped and counted as
+// cache.disk_skipped -- and one attempt per probeEvery is let through
+// as a probe. The first probe that succeeds re-enables the tier. The
+// cache.disk_degraded gauge tracks the breaker state, disk_errors /
+// disk_recovered count the transitions' raw material, so /metrics shows
+// a sick disk long before an operator reads logs.
 type diskStore struct {
-	dir string
-	reg *metrics.Registry
+	dir  string
+	reg  *metrics.Registry
+	logf func(format string, args ...any) // nil = silent
+
+	mu         sync.Mutex
+	fails      int       // consecutive IO errors
+	disabled   bool      // breaker open
+	nextProbe  time.Time // earliest next attempt while open
+	threshold  int
+	probeEvery time.Duration
 }
 
 // path names the entry file for a key.
@@ -125,16 +158,73 @@ func (d *diskStore) path(k Key) string {
 	return filepath.Join(d.dir, k.String()+entryExt)
 }
 
+// allowAttempt reports whether an IO attempt may proceed: always while
+// the breaker is closed, once per probeEvery while open. A denied
+// attempt counts as cache.disk_skipped.
+func (d *diskStore) allowAttempt() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.disabled {
+		return true
+	}
+	now := time.Now()
+	if now.Before(d.nextProbe) {
+		d.reg.Counter("cache.disk_skipped").Inc()
+		return false
+	}
+	d.nextProbe = now.Add(d.probeEvery)
+	return true
+}
+
+// record feeds one attempt's outcome to the breaker. Decode failures
+// and missing files must not be reported here -- only real IO errors
+// open the breaker, only real IO successes close it.
+func (d *diskStore) record(op string, err error) {
+	var msg string
+	d.mu.Lock()
+	if err == nil {
+		if d.disabled {
+			d.disabled = false
+			d.reg.Counter("cache.disk_recovered").Inc()
+			d.reg.Gauge("cache.disk_degraded").Set(0)
+			msg = fmt.Sprintf("resultcache: disk tier recovered (probe %s ok)", op)
+		}
+		d.fails = 0
+	} else {
+		d.reg.Counter("cache.disk_errors").Inc()
+		d.fails++
+		if d.fails >= d.threshold && !d.disabled {
+			d.disabled = true
+			d.nextProbe = time.Now().Add(d.probeEvery)
+			d.reg.Gauge("cache.disk_degraded").Set(1)
+			msg = fmt.Sprintf("resultcache: disk tier disabled after %d consecutive IO errors (last %s: %v); probing every %s",
+				d.fails, op, err, d.probeEvery)
+		}
+	}
+	d.mu.Unlock()
+	if msg != "" && d.logf != nil {
+		d.logf("%s", msg)
+	}
+}
+
 // load reads and validates the key's entry file. Anything unusable --
 // torn, corrupt, version-skewed, or carrying a different key (a renamed
 // file) -- is deleted along with .tmp residue so it can never be
-// consulted again, and counts as cache.disk_discarded.
+// consulted again, and counts as cache.disk_discarded. A read IO error
+// counts as cache.disk_errors and feeds the breaker.
 func (d *diskStore) load(k Key) ([]byte, bool) {
-	path := d.path(k)
-	data, err := os.ReadFile(path)
-	if err != nil {
+	if !d.allowAttempt() {
 		return nil, false
 	}
+	path := d.path(k)
+	data, err := iofault.ReadFile(DiskIOFaultSite, path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			d.record("read", err)
+		}
+		return nil, false
+	}
+	d.record("read", nil)
 	e, err := DecodeEntry(data)
 	if err != nil || e.Key != k {
 		d.discard(k)
@@ -146,30 +236,43 @@ func (d *diskStore) load(k Key) ([]byte, bool) {
 // save atomically persists the entry: encode, write to path+".tmp",
 // fsync, rename over path, best-effort directory fsync. A crash
 // mid-write leaves at worst a stale .tmp that the recovery sweep
-// removes.
+// removes; a failed write scrubs its own torn .tmp. Failures count as
+// cache.disk_errors and feed the breaker.
 func (d *diskStore) save(k Key, payload []byte) error {
+	if !d.allowAttempt() {
+		return nil // breaker open: silently memory-only, counted as skipped
+	}
+	err := d.saveIO(k, payload)
+	d.record("write", err)
+	return err
+}
+
+// saveIO is the raw atomic write, breaker-free.
+func (d *diskStore) saveIO(k Key, payload []byte) error {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return err
 	}
 	data := (&Entry{Key: k, Payload: payload}).Encode()
 	path := d.path(k)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := iofault.OpenFile(DiskIOFaultSite, tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := iofault.Rename(DiskIOFaultSite, tmp, path); err != nil {
 		return err
 	}
 	if dir, err := os.Open(d.dir); err == nil {

@@ -103,6 +103,9 @@ func (s *Service) executeCached(ctx context.Context, id string, req *Request, c 
 		return s.dispatch(ctx, id, req, c)
 	}
 	key := requestKey(req, c, s.distributed(req))
+	if s.jobAttempt(id) > 1 {
+		return s.executeCachedRetry(ctx, id, req, c, key)
+	}
 	payload, src, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		res, err := s.dispatch(ctx, id, req, c)
 		if err != nil {
@@ -122,6 +125,46 @@ func (s *Service) executeCached(ctx context.Context, id string, req *Request, c 
 	}
 	s.setJobCache(id, key, src)
 	return res, nil
+}
+
+// executeCachedRetry is the retry attempts' cache path: consult the
+// tiers directly and compute outside the single-flight. A retried
+// attempt must never join a pending flight -- the flight's owner may
+// be the very computation the watchdog just declared wedged, and
+// joining it would deadlock the retry behind the attempt it replaces.
+// The result is still stored, so later identical submissions hit.
+func (s *Service) executeCachedRetry(ctx context.Context, id string, req *Request, c *netlist.Circuit, key resultcache.Key) (*Result, error) {
+	if payload, src, ok := s.cache.Get(key); ok {
+		res := &Result{}
+		if err := json.Unmarshal(payload, res); err == nil {
+			s.setJobCache(id, key, src)
+			return res, nil
+		}
+		s.cache.Delete(key)
+		s.reg.Counter("cache.payload_errors").Inc()
+	}
+	res, err := s.dispatch(ctx, id, req, c)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err := json.Marshal(res); err == nil {
+		s.cache.Put(key, payload)
+	}
+	s.setJobCache(id, key, resultcache.SourceNone)
+	return res, nil
+}
+
+// jobAttempt reads the job's current attempt number; 0 for unknown IDs.
+func (s *Service) jobAttempt(id string) int {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
 }
 
 // setJobCache records how the job's result was obtained, for the view

@@ -24,12 +24,19 @@ import (
 // *through* f within one cooperative check interval, and no abandoned
 // computation is left burning CPU behind the pool. The stage.<name>
 // failpoint lets chaos tests fail, delay or panic a specific stage.
+// Entering and leaving a stage heartbeats the stuck-progress watchdog
+// (the job rides the context), so a healthy multi-stage pipeline never
+// trips it as long as each single stage fits the window.
 func (s *Service) stage(ctx context.Context, name string, f func() error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if err := failpoint.Inject("stage." + name); err != nil {
 		return err
+	}
+	if j := jobFromContext(ctx); j != nil {
+		j.touchProgress()
+		defer j.touchProgress()
 	}
 	return s.reg.Observe("stage."+name+".latency", f)
 }

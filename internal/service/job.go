@@ -258,6 +258,16 @@ type Job struct {
 	// attempt counts how many times the job has been started; recovered
 	// jobs resume past their journaled attempts.
 	attempt int
+	// progress is the running attempt's last heartbeat: begin stamps
+	// it, and the attempt refreshes it at every stage boundary and
+	// checkpoint write. The watchdog compares it against the configured
+	// no-progress window.
+	progress time.Time
+	// stalled marks an attempt the watchdog gave up on; stallCh (fresh
+	// per attempt) is closed at that moment, cueing the owning worker
+	// to abandon the wedged computation and requeue the job.
+	stalled bool
+	stallCh chan struct{}
 	// cacheKey and cacheSrc record the request's content-addressed
 	// result-cache identity and how the result was obtained ("miss",
 	// "hit", "hit-disk", "shared"); empty on jobs that never reached the
@@ -345,7 +355,70 @@ func (j *Job) begin(cancel context.CancelFunc) bool {
 	j.started = time.Now()
 	j.attempt++
 	j.cancel = cancel
+	j.progress = j.started
+	j.stalled = false
+	j.stallCh = make(chan struct{})
 	return true
+}
+
+// touchProgress refreshes the job's watchdog heartbeat.
+func (j *Job) touchProgress() {
+	j.mu.Lock()
+	j.progress = time.Now()
+	j.mu.Unlock()
+}
+
+// stallChan returns the current attempt's stall signal; the worker
+// selects on it against the computation's completion.
+func (j *Job) stallChan() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stallCh
+}
+
+// stalledAttempt reports whether the watchdog tripped this attempt.
+func (j *Job) stalledAttempt() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stalled
+}
+
+// stallIfStuck is the watchdog's check-and-trip: when the job is
+// running, not already tripped, and its heartbeat is older than the
+// window, it marks the attempt stalled, closes the stall channel (the
+// worker's cue to requeue) and cancels the attempt's context so the
+// wedged computation unwinds at its next cooperative check instead of
+// burning CPU behind the retry. A job with a user cancellation pending
+// is left to the normal cancel path.
+func (j *Job) stallIfStuck(now time.Time, window time.Duration) bool {
+	j.mu.Lock()
+	if j.status != StatusRunning || j.stalled || j.cancelRequested ||
+		j.stallCh == nil || now.Sub(j.progress) < window {
+		j.mu.Unlock()
+		return false
+	}
+	j.stalled = true
+	cancel := j.cancel
+	close(j.stallCh)
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// resetForRetry returns a stalled job to the queueable state for its
+// next attempt. It refuses (ok=false) when the job went terminal or
+// was cancelled in the meantime; the caller retires it instead.
+func (j *Job) resetForRetry() (attempt int, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() || j.cancelRequested {
+		return j.attempt, false
+	}
+	j.status = StatusQueued
+	j.cancel = nil
+	return j.attempt, true
 }
 
 // requestCancel marks the job for cancellation and interrupts the

@@ -12,6 +12,9 @@ import (
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/iofault"
+	"repro/internal/logger"
+	"repro/internal/metrics"
 )
 
 // The job journal is an append-only JSON-lines file recording every job
@@ -50,6 +53,15 @@ const (
 	fpJournalAfterWrite = "journal.after-write"
 )
 
+// journalIOFaultSite names the journal's iofault site: chaos tests arm
+// iofault.Point(journalIOFaultSite, op) to fail journal IO with
+// ENOSPC/EIO/torn writes.
+const journalIOFaultSite = "journal"
+
+// defaultJournalProbeEvery is how often a degraded journal re-probes
+// the disk when Config.JournalProbeEvery is unset.
+const defaultJournalProbeEvery = 2 * time.Second
+
 // journalEntry is one line of the journal.
 type journalEntry struct {
 	Event   string    `json:"event"`
@@ -67,22 +79,51 @@ type journalEntry struct {
 // journal owns the append file. Appends are serialized by mu so entries
 // never interleave; each entry is one marshal + one write, optionally
 // followed by an fsync.
+//
+// Journal IO failures degrade durability, never availability. The
+// first failed write flips the journal into degraded (memory-only)
+// mode: jobs keep running and their in-memory state stays correct, but
+// lifecycle entries are dropped (counted as journal.dropped_entries)
+// instead of being retried on every transition against a disk that is
+// plainly sick. Once per probeEvery an append doubles as a probe: the
+// file handle is reopened (a stale fd does not outlive a remount) and
+// a lone newline is written first, terminating whatever torn line the
+// original failure left so replay's skip-bad-lines tolerance contains
+// the damage to that one line. The first probe that succeeds drops
+// back to durable mode (journal.recovered). The journal.degraded gauge
+// tracks the state for /metrics.
 type journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    *iofault.File
+	path string
 	sync bool
+	reg  *metrics.Registry
+	log  *logger.Logger // nil-safe
+
+	degraded   bool
+	probeEvery time.Duration
+	lastProbe  time.Time
+	dropped    int64 // entries lost while degraded (also a counter)
 }
 
-func openJournal(path string, syncEach bool) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openJournal(path string, syncEach bool, probeEvery time.Duration, reg *metrics.Registry, log *logger.Logger) (*journal, error) {
+	f, err := iofault.OpenFile(journalIOFaultSite, path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: open journal: %w", err)
 	}
-	return &journal{f: f, sync: syncEach}, nil
+	if probeEvery <= 0 {
+		probeEvery = defaultJournalProbeEvery
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &journal{f: f, path: path, sync: syncEach, reg: reg, log: log, probeEvery: probeEvery}, nil
 }
 
 // append commits one entry. A failpoint-injected error at before-write
-// simulates the write never reaching disk.
+// simulates the write never reaching disk. The returned error reports
+// a durability loss for THIS entry (the caller counts it); a nil
+// return while degraded means the entry was deliberately dropped.
 func (j *journal) append(e journalEntry) error {
 	if err := failpoint.Inject(fpJournalBeforeWrite); err != nil {
 		return err
@@ -99,15 +140,78 @@ func (j *journal) append(e journalEntry) error {
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(b); err != nil {
+	if j.degraded {
+		return j.appendDegraded(e, b)
+	}
+	if err := j.write(b); err != nil {
+		j.degrade(e, err)
 		return fmt.Errorf("service: write journal: %w", err)
 	}
-	if j.sync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("service: sync journal: %w", err)
-		}
-	}
 	return failpoint.Inject(fpJournalAfterWrite)
+}
+
+// write pushes one marshalled line through the current handle,
+// honoring the sync-each-entry setting. Caller holds mu.
+func (j *journal) write(b []byte) error {
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// degrade flips to memory-only mode. Caller holds mu.
+func (j *journal) degrade(e journalEntry, err error) {
+	j.degraded = true
+	j.lastProbe = time.Now()
+	j.reg.Gauge("journal.degraded").Set(1)
+	j.log.Warnf("id=%s job=%s journal degraded (memory-only): %s write failed: %v; re-probing every %s",
+		e.ReqID, e.ID, e.Event, err, j.probeEvery)
+}
+
+// appendDegraded drops the entry unless a probe is due; a due probe
+// reopens the file, repairs any torn tail, and writes the entry for
+// real. Caller holds mu.
+func (j *journal) appendDegraded(e journalEntry, b []byte) error {
+	now := time.Now()
+	if now.Sub(j.lastProbe) < j.probeEvery {
+		j.dropped++
+		j.reg.Counter("journal.dropped_entries").Inc()
+		return nil
+	}
+	j.lastProbe = now
+	f, err := iofault.OpenFile(journalIOFaultSite, j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.dropped++
+		j.reg.Counter("journal.dropped_entries").Inc()
+		return nil
+	}
+	old := j.f
+	j.f = f
+	// Terminate whatever torn line the original failure left behind: an
+	// empty line is skipped by replay, a half line would otherwise fuse
+	// with this entry and corrupt both.
+	werr := j.write([]byte("\n"))
+	if werr == nil {
+		werr = j.write(b)
+	}
+	if werr != nil {
+		j.f = old
+		f.Close()
+		j.dropped++
+		j.reg.Counter("journal.dropped_entries").Inc()
+		return nil
+	}
+	old.Close()
+	j.degraded = false
+	j.reg.Gauge("journal.degraded").Set(0)
+	j.reg.Counter("journal.recovered").Inc()
+	j.log.Warnf("id=%s job=%s journal recovered to durable mode; %d entries dropped while degraded",
+		e.ReqID, e.ID, j.dropped)
+	j.dropped = 0
+	return nil
 }
 
 func (j *journal) Close() error {

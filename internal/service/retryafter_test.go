@@ -1,0 +1,61 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestRetryAfterScalesWithBacklog drives RetryAfter through its inputs
+// directly via the shared registry: the idle 1s floor, scaling with
+// queue depth in waves of the observed p95, round-up to whole seconds,
+// and the 60s ceiling.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Workers: 2, Metrics: reg, CacheBytes: -1})
+	defer s.Close()
+
+	// Idle service, no latency samples: the 1s floor.
+	if got := s.RetryAfter(); got != time.Second {
+		t.Fatalf("idle RetryAfter = %v, want 1s", got)
+	}
+
+	// 100 jobs at a uniform 2s (quantile clamps to the observed max, so
+	// p95 is exactly 2s), 6 queued on 2 workers: three waves of backlog
+	// plus the client's own wave = 4 * 2s.
+	for i := 0; i < 100; i++ {
+		reg.Histogram("jobs.latency").Observe(2 * time.Second)
+	}
+	reg.Gauge("queue.depth").Set(6)
+	if got := s.RetryAfter(); got != 8*time.Second {
+		t.Fatalf("backlogged RetryAfter = %v, want 8s (4 waves of 2s)", got)
+	}
+
+	// Sub-second remainders round up: Retry-After is integral seconds.
+	reg.Gauge("queue.depth").Set(1)
+	if got := s.RetryAfter(); got != 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want 4s (2 waves of 2s)", got)
+	}
+
+	// A pathological backlog clamps at the 60s ceiling.
+	reg.Gauge("queue.depth").Set(100_000)
+	if got := s.RetryAfter(); got != 60*time.Second {
+		t.Fatalf("deep-backlog RetryAfter = %v, want the 60s clamp", got)
+	}
+}
+
+// TestRetryAfterRoundsUp: a fractional-second wave estimate lands on
+// the next whole second, never truncates down.
+func TestRetryAfterRoundsUp(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Workers: 4, Metrics: reg, CacheBytes: -1})
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		reg.Histogram("jobs.latency").Observe(1500 * time.Millisecond)
+	}
+	// Empty queue: one wave of 1.5s rounds up to 2s.
+	if got := s.RetryAfter(); got != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s (1.5s rounded up)", got)
+	}
+}

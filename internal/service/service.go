@@ -58,6 +58,10 @@ type Config struct {
 	// SyncJournal fsyncs the journal after every entry. Off by default:
 	// the write-behind window is one OS page cache flush.
 	SyncJournal bool
+	// JournalProbeEvery is how often a degraded (memory-only) journal
+	// re-probes the disk for recovery; default 2s. Journal write
+	// failures never stop jobs -- see journal.go's degraded mode.
+	JournalProbeEvery time.Duration
 	// MaxAttempts bounds how many times a job may be started across
 	// crashes before recovery gives up and fails it; default 3.
 	MaxAttempts int
@@ -98,6 +102,19 @@ type Config struct {
 	// distribution is purely a latency/robustness knob.
 	Backends []string
 
+	// WatchdogWindow enables the stuck-progress watchdog: a running job
+	// whose last progress heartbeat (stage boundaries and checkpoint
+	// writes) is older than the window is cancelled and requeued
+	// through the retry/backoff ladder, resuming from its last durable
+	// checkpoint. 0 (the default) disables the watchdog. Size it to a
+	// comfortable multiple of the longest healthy stage: the heartbeats
+	// come from stage boundaries, so a single legitimately long stage
+	// must fit inside the window.
+	WatchdogWindow time.Duration
+	// WatchdogPoll is how often the watchdog scans running jobs;
+	// default WatchdogWindow/4 (min 10ms).
+	WatchdogPoll time.Duration
+
 	// RetryJitterSeed seeds the PRNG that jitters recovery retry
 	// backoffs over [d/2, d] (0: seeded from the clock). A fixed seed
 	// makes backoff schedules reproducible in tests.
@@ -135,6 +152,15 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = atpg.DefaultCheckpointEvery
 	}
+	if c.JournalProbeEvery <= 0 {
+		c.JournalProbeEvery = defaultJournalProbeEvery
+	}
+	if c.WatchdogWindow > 0 && c.WatchdogPoll <= 0 {
+		c.WatchdogPoll = c.WatchdogWindow / 4
+		if c.WatchdogPoll < 10*time.Millisecond {
+			c.WatchdogPoll = 10 * time.Millisecond
+		}
+	}
 	return c
 }
 
@@ -171,6 +197,7 @@ type Service struct {
 	closed bool
 	timers map[string]*time.Timer // recovered jobs waiting out a retry backoff
 	done   chan struct{}          // closed once the pool has fully drained
+	wdDone chan struct{}          // closed when the watchdog loop exits; nil when disabled
 }
 
 // New starts a service with cfg.Workers worker goroutines. It panics
@@ -222,11 +249,16 @@ func Open(cfg Config) (*Service, error) {
 	}
 
 	if cfg.CacheBytes >= 0 {
-		s.cache = resultcache.New(resultcache.Config{
+		ccfg := resultcache.Config{
 			MaxBytes: cfg.CacheBytes,
 			Dir:      cfg.CacheDir,
 			Metrics:  s.reg,
-		})
+		}
+		if s.log != nil {
+			// Disk-tier breaker transitions land in the ring at Warn.
+			ccfg.Logf = s.log.Warnf
+		}
+		s.cache = resultcache.New(ccfg)
 		// Recovery for the durable tier: collect torn .tmp residue and
 		// entries that no longer validate before anything consults them.
 		if cfg.CacheDir != "" {
@@ -261,6 +293,10 @@ func Open(cfg Config) (*Service, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.WatchdogWindow > 0 {
+		s.wdDone = make(chan struct{})
+		go s.watchdog()
+	}
 	return s, nil
 }
 
@@ -279,7 +315,7 @@ func (s *Service) recover(path string) (requeue []*Job, backoffs []time.Duration
 		replayed, maxID, skipped = replayJournal(f)
 		f.Close()
 	}
-	s.jrnl, err = openJournal(path, s.cfg.SyncJournal)
+	s.jrnl, err = openJournal(path, s.cfg.SyncJournal, s.cfg.JournalProbeEvery, s.reg, s.log)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -354,6 +390,9 @@ func (s *Service) checkpointConfig(id string) atpg.CheckpointConfig {
 		Path:  path,
 		Every: s.cfg.CheckpointEvery,
 		OnWrite: func(_ *atpg.Checkpoint, err error) {
+			// Either outcome is a heartbeat: the cadence only fires
+			// because the engine decided more faults since the last one.
+			s.touch(id)
 			if err != nil {
 				s.reg.Counter("atpg.checkpoint.errors").Inc()
 			} else {
@@ -430,6 +469,40 @@ func (s *Service) sweepCheckpoints() {
 
 // Metrics returns the service's registry (for the /metrics endpoint).
 func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// RetryAfter estimates how long a client shed with 429 should wait
+// before resubmitting, from live backlog instead of a constant: the
+// queue ahead of the client drains in roughly ceil(depth/workers)
+// waves of one observed p95 job latency each, plus the wave the
+// resubmission itself rides. Before any job has finished (no latency
+// samples yet) the p95 falls back to 1s. The estimate is clamped to
+// [1s, 60s] -- never so small that shed clients hammer an overloaded
+// server, never so large that they abandon a queue that is actually
+// draining -- and rounded up to whole seconds, since the Retry-After
+// header carries integral seconds.
+func (s *Service) RetryAfter() time.Duration {
+	p95 := s.reg.Histogram("jobs.latency").Quantile(0.95)
+	if p95 <= 0 {
+		p95 = time.Second
+	}
+	depth := s.reg.Gauge("queue.depth").Value()
+	if depth < 0 {
+		depth = 0
+	}
+	w := int64(s.cfg.Workers)
+	waves := (depth+w-1)/w + 1
+	d := time.Duration(waves) * p95
+	if d > 60*time.Second {
+		d = 60 * time.Second
+	}
+	if r := d % time.Second; r != 0 {
+		d += time.Second - r
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
 
 // Submit validates and enqueues a job, returning its ID. It fails fast
 // with ErrQueueFull when the queue is at capacity and ErrClosed after
@@ -623,6 +696,9 @@ func (s *Service) shutdown(ctx context.Context) error {
 		<-drained
 	}
 	s.stop()
+	if s.wdDone != nil {
+		<-s.wdDone // no scan may trip jobs once shutdown returns
+	}
 	if s.jrnl != nil {
 		s.jrnl.Close()
 	}
@@ -680,9 +756,11 @@ func (s *Service) runJob(j *Job) {
 		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
 	}
 	// The request ID rides the job context so dispatch backend calls
-	// stamp it on their shard submissions.
+	// stamp it on their shard submissions; the job itself rides along so
+	// stage boundaries can heartbeat the watchdog.
 	ctx, cancel := context.WithTimeout(httpmw.ContextWithID(s.base, j.reqID), timeout)
 	defer cancel()
+	ctx = contextWithJob(ctx, j)
 
 	if !j.begin(cancel) {
 		// Cancelled while queued: retire without running.
@@ -709,14 +787,33 @@ func (s *Service) runJob(j *Job) {
 		done <- outcome{res, err}
 	}()
 
-	o := <-done
-	// Deadline-expired stages surface context.Canceled from deep in the
-	// library when the deadline fired between stage checks; normalize to
-	// the context's own error so clients always see DeadlineExceeded.
-	if o.err != nil && ctx.Err() != nil && !j.cancelPending() {
-		o.err = ctx.Err()
+	select {
+	case o := <-done:
+		if o.err != nil && j.stalledAttempt() {
+			// The watchdog tripped and the computation unwound into the
+			// cancelled context before this select saw the stall channel:
+			// same outcome as the stall branch, so requeue, don't fail. A
+			// stalled attempt that nonetheless *finished* (o.err == nil,
+			// the trip raced a real completion) falls through and wins.
+			s.requeueOrFail(j)
+			return
+		}
+		// Deadline-expired stages surface context.Canceled from deep in
+		// the library when the deadline fired between stage checks;
+		// normalize to the context's own error so clients always see
+		// DeadlineExceeded.
+		if o.err != nil && ctx.Err() != nil && !j.cancelPending() {
+			o.err = ctx.Err()
+		}
+		s.finishJob(j, o.res, o.err)
+	case <-j.stallChan():
+		// The watchdog declared this attempt stuck. Abandon the wedged
+		// computation -- done is buffered, so the goroutine cannot leak
+		// once it unwinds into its cancelled context -- and route the job
+		// back through the retry ladder; the next attempt resumes from
+		// the last durable checkpoint.
+		s.requeueOrFail(j)
 	}
-	s.finishJob(j, o.res, o.err)
 }
 
 // finishJob retires a job: terminal status, metrics, journal entry.
@@ -745,6 +842,8 @@ func (s *Service) finishJob(j *Job, res *Result, err error) {
 	// checkpoint (if any) is dead weight.
 	s.removeCheckpoint(j.id)
 	s.reg.Histogram("jobs.latency." + kind).Observe(dur)
+	// The kind-agnostic aggregate feeds the RetryAfter backlog estimate.
+	s.reg.Histogram("jobs.latency").Observe(dur)
 	lv := logger.Info
 	if status == StatusFailed {
 		lv = logger.Warn

@@ -52,6 +52,21 @@ go build -o "$smoketmp/servd" ./cmd/servd
 go build -o "$smoketmp/workerd" ./cmd/workerd
 go run ./cmd/dispatchsmoke -servd "$smoketmp/servd" -workerd "$smoketmp/workerd"
 
+echo "== go test -race (iofault chaos: ENOSPC/EIO/torn writes at journal, checkpoint, cache sites)"
+# The degraded-mode gate: every write-path op of every durability site
+# fails and the job must still complete byte-identical to a fault-free
+# run while the site's degraded signal (journal.degraded,
+# atpg.checkpoint.errors, cache.disk_errors) fires.
+go test -race -count=1 -run 'TestDurabilityFaultsNeverFailJobs|TestJournalDegraded|TestDiskBreaker|TestInjectedFaults|TestPartialWrite' \
+    ./internal/service/ ./internal/resultcache/ ./internal/iofault/
+
+echo "== go test -race (watchdog stall smoke: wedged checkpoint write -> requeue -> byte-identical)"
+# A job wedged mid-run (blocked checkpoint write) must be detected by
+# the stuck-progress watchdog, cancelled, requeued through the backoff
+# ladder, and finish byte-identical on the retry; a job that stalls on
+# every attempt must fail loudly at the attempt cap.
+go test -race -count=1 -run 'TestWatchdog' ./internal/service/
+
 echo "== go test -race -short (checkpoint kill/resume chaos: crash anywhere, resume, byte-identical)"
 # -short samples 3 kill points per snapshot set and workers {1,4}; the
 # plain tier-1 pass (and a nightly run without -short) widens to up to
@@ -76,6 +91,18 @@ echo "== coverage floor (httpmw + logger must stay >= 90% covered)"
 # daemons; the hardening pass that introduced them came with a full
 # table-driven suite, and this gate keeps later edits honest.
 go test -count=1 -cover ./internal/httpmw/ ./internal/logger/ | awk '
+    /coverage:/ {
+        pct = 0
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%.*/, "", $i); pct = $i }
+        printf "%-24s %s%%\n", $2, pct
+        if (pct + 0 < 90) { bad = 1 }
+    }
+    END { if (bad) { print "coverage below 90% floor" > "/dev/stderr"; exit 1 } }'
+
+echo "== coverage floor (iofault must stay >= 90% covered)"
+# The IO fault seam guards every durability write path; its behavior
+# under injection is exactly what the degraded-mode guarantees rest on.
+go test -count=1 -cover ./internal/iofault/ | awk '
     /coverage:/ {
         pct = 0
         for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%.*/, "", $i); pct = $i }
